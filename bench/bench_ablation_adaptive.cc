@@ -1,0 +1,125 @@
+// Ablation: adaptive filter execution (paper Section 5.2) — clause
+// reordering by (1-P)/cost, encoded filters, and secondary-index filters,
+// each toggled independently on the same query.
+//
+// The query: a cheap, highly selective integer equality AND an expensive,
+// barely selective IN-list over a wide string column, written in the WRONG
+// order. Static evaluation pays the expensive clause on every row;
+// adaptive execution learns to run the selective clause first.
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "exec/table_scanner.h"
+
+namespace s2 {
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+double RunScan(UnifiedTable* table, Partition* partition,
+               const ScanOptions& base, const FilterNode* filter,
+               int repeats, ScanStats* stats_out) {
+  bench::Timer timer;
+  for (int r = 0; r < repeats; ++r) {
+    ScanOptions options = base;
+    options.filter = filter;
+    options.projection = {0};
+    TableScanner scanner(table, options);
+    auto h = partition->Begin();
+    (void)scanner.Scan(h.id, h.read_ts,
+                       [](const ScanBatch&) { return true; });
+    if (stats_out != nullptr) *stats_out = scanner.stats();
+    partition->EndRead(h.id);
+  }
+  return timer.Seconds() / repeats * 1000.0;
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  int repeats = bench::EnvInt("S2_BENCH_REPEATS", 5);
+  bench::PrintHeader(
+      "Ablation: adaptive query execution (filter reordering / encoded "
+      "filters / index filters)");
+
+  bench::ScratchDir dir("s2-adaptive");
+  DatabaseOptions opts;
+  opts.dir = dir.path();
+  opts.auto_maintain = false;
+  auto db = Database::Open(opts);
+  TableOptions t;
+  t.schema = Schema({{"id", DataType::kInt64},
+                     {"payload", DataType::kString},
+                     {"bucket", DataType::kInt64}});
+  t.indexes = {{0}};
+  t.unique_key = {0};
+  t.segment_rows = 65536;
+  t.flush_threshold = 65536;
+  t.sort_key = {};  // no sort key: zone maps can't save the bad plan
+  if (!db.ok() || !(*db)->CreateTable("t", t, {0}).ok()) return 1;
+  Partition* partition = (*db)->cluster()->partition(0);
+  UnifiedTable* table = *partition->GetTable("t");
+  for (int64_t i = 0; i < kRows; i += 4096) {
+    std::vector<Row> batch;
+    for (int64_t j = i; j < i + 4096 && j < kRows; ++j) {
+      batch.push_back({Value(j % 977),  // many duplicates; index selective
+                       Value("payload-string-" + std::to_string(j % 23)),
+                       Value(j % 7)});
+    }
+    auto h = partition->Begin();
+    if (!table->InsertRows(h.id, h.read_ts, batch,
+                           DupPolicy::kSkip).ok()) {
+      return 1;
+    }
+    if (!partition->Commit(h.id).ok()) return 1;
+    if (table->NeedsFlush()) (void)table->FlushRowstore();
+  }
+  (void)table->FlushRowstore();
+
+  // Expensive barely-selective clause FIRST, cheap selective clause LAST.
+  auto build_filter = [] {
+    std::vector<Value> wide;
+    for (int i = 0; i < 22; ++i) {
+      wide.push_back(Value("payload-string-" + std::to_string(i)));
+    }
+    std::vector<std::unique_ptr<FilterNode>> conj;
+    conj.push_back(FilterIn(1, std::move(wide)));      // passes ~96%
+    conj.push_back(FilterEq(2, Value(int64_t{3})));    // passes ~14%
+    conj.push_back(FilterEq(0, Value(int64_t{123})));  // passes ~0.1%
+    return FilterAnd(std::move(conj));
+  };
+  auto filter = build_filter();
+
+  struct Config {
+    const char* name;
+    bool reorder, encoded, index;
+  };
+  Config configs[] = {
+      {"all static (given clause order)", false, false, false},
+      {"+ adaptive reordering", true, false, false},
+      {"+ encoded filters", true, true, false},
+      {"+ secondary-index filter (full adaptive)", true, true, true},
+  };
+  printf("%-44s %12s %10s\n", "Configuration", "ms/scan", "vs static");
+  double baseline = 0;
+  for (const Config& config : configs) {
+    ScanOptions options;
+    options.adaptive_reorder = config.reorder;
+    options.use_encoded_filters = config.encoded;
+    options.use_secondary_index = config.index;
+    options.use_zone_maps = false;
+    ScanStats stats;
+    double ms = RunScan(table, partition, options, filter.get(), repeats,
+                        &stats);
+    if (baseline == 0) baseline = ms;
+    printf("%-44s %12.3f %9.2fx\n", config.name, ms,
+           ms > 0 ? baseline / ms : 0);
+  }
+  printf("\nShape: each Section 5 mechanism compounds — reordering runs the "
+         "selective clause first, encoded filters skip decoding the wide "
+         "string column, and the index filter skips non-matching rows "
+         "entirely.\n");
+  return 0;
+}

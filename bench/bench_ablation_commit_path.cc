@@ -1,0 +1,99 @@
+// Ablation: asynchronous vs synchronous blob commit (paper Section 3.1).
+//
+// The paper's core separation-of-storage claim: committing on local
+// storage and uploading to blob asynchronously gives low, predictable
+// write latency, while cloud-data-warehouse designs that must persist to
+// blob before acknowledging pay the blob round-trip on every commit. A
+// MemBlobStore with injected per-operation latency stands in for S3.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "blob/blob_store.h"
+#include "engine/database.h"
+
+namespace s2 {
+namespace {
+
+struct LatencyStats {
+  double avg_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t blob_puts_during_commits = 0;
+};
+
+LatencyStats RunCommits(EngineProfile profile, uint64_t blob_latency_us,
+                        int commits) {
+  bench::ScratchDir dir("s2-commitpath");
+  MemBlobStore blob;
+  blob.set_put_latency_us(blob_latency_us);
+  DatabaseOptions opts;
+  opts.dir = dir.path();
+  opts.blob = &blob;
+  opts.profile = profile;
+  opts.background_uploads = true;
+  auto db = Database::Open(opts);
+  TableOptions t;
+  t.schema = Schema({{"id", DataType::kInt64}, {"v", DataType::kString}});
+  t.indexes = {{0}};
+  t.segment_rows = 1024;
+  t.flush_threshold = 1024;
+  if (!db.ok() || !(*db)->CreateTable("t", t, {0}).ok()) return {};
+
+  std::vector<double> latencies;
+  uint64_t puts_before = blob.stats().puts.load();
+  for (int i = 0; i < commits; ++i) {
+    bench::Timer timer;
+    Status s = (*db)->Insert(
+        "t", {{Value(static_cast<int64_t>(i)), Value("payload")}});
+    if (!s.ok()) break;
+    latencies.push_back(timer.Seconds() * 1e6);
+  }
+  uint64_t puts_after = blob.stats().puts.load();
+
+  std::sort(latencies.begin(), latencies.end());
+  LatencyStats stats;
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (double v : latencies) sum += v;
+    stats.avg_us = sum / static_cast<double>(latencies.size());
+    stats.p50_us = latencies[latencies.size() / 2];
+    stats.p99_us = latencies[latencies.size() * 99 / 100];
+  }
+  stats.blob_puts_during_commits = puts_after - puts_before;
+  return stats;
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  int commits = bench::EnvInt("S2_BENCH_COMMITS", 2000);
+  uint64_t blob_us =
+      static_cast<uint64_t>(bench::EnvInt("S2_BENCH_BLOB_LATENCY_US", 2000));
+  bench::PrintHeader(
+      "Ablation: commit path — async blob upload (S2DB) vs sync blob "
+      "commit (CDW baseline)");
+  printf("Injected blob PUT latency: %llu us; %d single-row autocommit "
+         "inserts per engine\n\n",
+         static_cast<unsigned long long>(blob_us), commits);
+
+  auto async = RunCommits(EngineProfile::kUnified, blob_us, commits);
+  auto sync = RunCommits(EngineProfile::kCloudWarehouse, blob_us, commits);
+
+  printf("%-28s %12s %12s %12s %18s\n", "Engine", "avg (us)", "p50 (us)",
+         "p99 (us)", "blob PUTs inline");
+  printf("%-28s %12.1f %12.1f %12.1f %18llu\n", "S2DB (async upload)",
+         async.avg_us, async.p50_us, async.p99_us,
+         static_cast<unsigned long long>(async.blob_puts_during_commits));
+  printf("%-28s %12.1f %12.1f %12.1f %18llu\n", "CDW (sync blob commit)",
+         sync.avg_us, sync.p50_us, sync.p99_us,
+         static_cast<unsigned long long>(sync.blob_puts_during_commits));
+
+  printf("\nShape: S2DB commit latency is independent of blob latency "
+         "(%.1fx lower p50 here); the paper's design argument in one "
+         "number.\n",
+         async.p50_us > 0 ? sync.p50_us / async.p50_us : 0);
+  return 0;
+}

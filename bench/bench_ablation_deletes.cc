@@ -1,0 +1,121 @@
+// Ablation: delete bit-vectors vs tombstone merge-on-read (paper Section
+// 4, "no merge-based reconciliation during reads").
+//
+// S2DB marks deletes in a per-segment bit vector that a scan applies with
+// one bit test per row. The common LSM alternative (RocksDB/Cassandra
+// tombstones) reconciles every row against newer levels during reads. We
+// measure our scan at increasing delete fractions and, as the tombstone
+// stand-in, the same scan paying a per-row hash-set probe against a
+// deleted-key set — the per-row reconciliation cost the paper avoids.
+
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "exec/table_scanner.h"
+
+namespace s2 {
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+double ScanRowsPerSec(UnifiedTable* table, Partition* partition,
+                      const std::unordered_set<int64_t>* tombstones,
+                      int repeats) {
+  double total_rows = 0;
+  bench::Timer timer;
+  for (int r = 0; r < repeats; ++r) {
+    ScanOptions options;
+    options.projection = {0};
+    TableScanner scanner(table, options);
+    auto h = partition->Begin();
+    (void)scanner.Scan(h.id, h.read_ts, [&](const ScanBatch& batch) {
+      if (tombstones != nullptr) {
+        // Tombstone merge-on-read stand-in: per-row reconciliation probe.
+        size_t survivors = 0;
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          if (tombstones->count(batch.columns[0].IntAt(i)) == 0) ++survivors;
+        }
+        total_rows += static_cast<double>(survivors);
+      } else {
+        total_rows += static_cast<double>(batch.num_rows);
+      }
+      return true;
+    });
+    partition->EndRead(h.id);
+  }
+  return total_rows / timer.Seconds();
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  int repeats = bench::EnvInt("S2_BENCH_REPEATS", 5);
+  bench::PrintHeader(
+      "Ablation: delete bit-vectors vs tombstone merge-on-read (scan "
+      "rows/sec)");
+
+  printf("%-16s %18s %22s %10s\n", "deleted rows", "bit-vector scan",
+         "tombstone-probe scan", "ratio");
+  for (double delete_fraction : {0.0, 0.05, 0.2}) {
+    bench::ScratchDir dir("s2-del-ablation");
+    DatabaseOptions opts;
+    opts.dir = dir.path();
+    opts.auto_maintain = false;
+    auto db = Database::Open(opts);
+    TableOptions t;
+    t.schema = Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+    t.indexes = {{0}};
+    t.unique_key = {0};
+    t.segment_rows = 65536;
+    t.flush_threshold = 65536;
+    if (!db.ok() || !(*db)->CreateTable("t", t, {0}).ok()) return 1;
+    Partition* partition = (*db)->cluster()->partition(0);
+    UnifiedTable* table = *partition->GetTable("t");
+    for (int64_t i = 0; i < kRows; i += 4096) {
+      std::vector<Row> batch;
+      for (int64_t j = i; j < i + 4096 && j < kRows; ++j) {
+        batch.push_back({Value(j), Value(j * 7)});
+      }
+      auto h = partition->Begin();
+      if (!table->InsertRows(h.id, h.read_ts, batch).ok()) return 1;
+      if (!partition->Commit(h.id).ok()) return 1;
+      if (table->NeedsFlush()) (void)table->FlushRowstore();
+    }
+    (void)table->FlushRowstore();
+
+    // Delete a fraction (spread uniformly) through move transactions; the
+    // tombstone set mirrors it for the stand-in scan.
+    std::unordered_set<int64_t> tombstones;
+    int64_t to_delete =
+        static_cast<int64_t>(delete_fraction * static_cast<double>(kRows));
+    int64_t stride = to_delete > 0 ? kRows / to_delete : 0;
+    for (int64_t d = 0; d < to_delete; ++d) {
+      int64_t id = d * stride;
+      auto h = partition->Begin();
+      if (table->DeleteByKey(h.id, h.read_ts, {Value(id)}).ok()) {
+        (void)partition->Commit(h.id);
+        tombstones.insert(id);
+      } else {
+        partition->Abort(h.id);
+      }
+    }
+    (void)table->FlushRowstore();
+    // Reclaim the moved rows' level-0 shells so the scan measures the
+    // columnstore path, then warm the cache.
+    table->Vacuum(partition->txns()->oldest_active());
+    (void)ScanRowsPerSec(table, partition, nullptr, 1);
+
+    double bitvec = ScanRowsPerSec(table, partition, nullptr, repeats);
+    double tombstone = ScanRowsPerSec(table, partition, &tombstones, repeats);
+    printf("%-16lld %18.0f %22.0f %9.2fx\n",
+           static_cast<long long>(tombstones.size()), bitvec, tombstone,
+           tombstone > 0 ? bitvec / tombstone : 0);
+  }
+  printf("\nShape: bit-vector scans keep full columnstore scan speed at any "
+         "delete fraction; per-row reconciliation taxes every row (the "
+         "paper's 8.6 cycles/row TPC-H Q1 budget leaves no room for it).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation: row-level locking via move transactions vs naive segment-level
+// metadata locking (paper Section 4.2).
+//
+// "A user transaction running update or delete operations would acquire
+// the lock on the metadata row of a modified segment to install a new
+// version of the deleted bit vector, blocking other modifications on the
+// same segment (1 million rows) until the user transaction commits or
+// rolls back."
+//
+// We measure exactly that blocking: transaction A updates row 1 of a
+// segment and stays open for `hold_ms`; transaction B then updates a
+// DIFFERENT row of the SAME segment. With S2DB's move-transaction design B
+// completes immediately; under the naive design (simulated by a
+// per-segment mutex held until commit) B waits out A's entire lifetime.
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "bench_util.h"
+#include "engine/database.h"
+
+namespace s2 {
+namespace {
+
+constexpr int64_t kRows = 8192;
+
+struct Blocked {
+  double b_latency_ms = 0;   // how long txn B took
+  double a_lifetime_ms = 0;  // how long txn A stayed open
+};
+
+Blocked RunOnce(bool naive_segment_lock, int hold_ms) {
+  bench::ScratchDir dir("s2-rowlock");
+  DatabaseOptions opts;
+  opts.dir = dir.path();
+  opts.auto_maintain = false;
+  auto db = Database::Open(opts);
+  TableOptions t;
+  t.schema = Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+  t.indexes = {{0}};
+  t.unique_key = {0};
+  t.segment_rows = kRows;  // one segment holds every row
+  t.flush_threshold = kRows;
+  if (!db.ok() || !(*db)->CreateTable("t", t, {0}).ok()) return {};
+  Partition* partition = (*db)->cluster()->partition(0);
+  UnifiedTable* table = *partition->GetTable("t");
+  {
+    std::vector<Row> batch;
+    for (int64_t i = 0; i < kRows; ++i) batch.push_back({Value(i), Value(i)});
+    auto h = partition->Begin();
+    if (!table->InsertRows(h.id, h.read_ts, batch).ok()) return {};
+    if (!partition->Commit(h.id).ok()) return {};
+  }
+  (void)table->FlushRowstore();
+
+  std::mutex segment_metadata_lock;
+  std::atomic<bool> a_holding{false};
+  Blocked result;
+
+  std::thread txn_a([&] {
+    bench::Timer a_timer;
+    std::unique_lock<std::mutex> naive;
+    if (naive_segment_lock) {
+      naive = std::unique_lock<std::mutex>(segment_metadata_lock);
+    }
+    auto h = partition->Begin();
+    // Updates row 0 (installs a deleted bit on the shared segment) and
+    // keeps the transaction open, as a long user transaction would.
+    (void)table->UpdateByKey(h.id, h.read_ts, {Value(int64_t{0})},
+                             {Value(int64_t{0}), Value(int64_t{100})});
+    a_holding = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    (void)partition->Commit(h.id);
+    result.a_lifetime_ms = a_timer.Seconds() * 1000;
+  });
+
+  while (!a_holding.load()) std::this_thread::yield();
+  bench::Timer b_timer;
+  {
+    std::unique_lock<std::mutex> naive;
+    if (naive_segment_lock) {
+      naive = std::unique_lock<std::mutex>(segment_metadata_lock);
+    }
+    auto h = partition->Begin();
+    Status s = table->UpdateByKey(h.id, h.read_ts, {Value(int64_t{7})},
+                                  {Value(int64_t{7}), Value(int64_t{200})});
+    if (s.ok()) {
+      (void)partition->Commit(h.id);
+    } else {
+      partition->Abort(h.id);
+    }
+  }
+  result.b_latency_ms = b_timer.Seconds() * 1000;
+  txn_a.join();
+  return result;
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  bench::PrintHeader(
+      "Ablation: move-transaction row-level locking vs naive segment-level "
+      "locking (latency of an update to a DIFFERENT row of the same "
+      "segment while another transaction holds its update open)");
+
+  printf("%-14s %26s %28s\n", "A holds (ms)", "B latency, row-level (ms)",
+         "B latency, segment-level (ms)");
+  for (int hold_ms : {20, 50, 100}) {
+    auto row_level = RunOnce(false, hold_ms);
+    auto naive = RunOnce(true, hold_ms);
+    printf("%-14d %26.2f %28.2f\n", hold_ms, row_level.b_latency_ms,
+           naive.b_latency_ms);
+  }
+  printf("\nShape: with move transactions B's latency is independent of A's "
+         "lifetime (the move commits immediately; only the one moved row "
+         "stays locked). Naive segment-level locking blocks B for A's "
+         "entire open duration — the contention Section 4.2 designs "
+         "away.\n");
+  return 0;
+}

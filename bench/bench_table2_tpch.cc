@@ -1,0 +1,141 @@
+// Reproduces Table 2 of the paper: TPC-H summary — geomean query runtime,
+// "cost" per query (runtime x a cluster price), and throughput (QPS) for
+// S2DB vs. two cloud-data-warehouse baselines and the CDB rowstore
+// baseline.
+//
+// Paper shape to reproduce: S2DB ~ CDW1/CDW2 on the analytics benchmark
+// (S2DB slightly ahead), while CDB is orders of magnitude slower ("did not
+// finish within 24 hours" at 1TB; here it is run with a per-query timeout
+// multiple and reported as DNF when it blows past it).
+//
+// Scaled down to SF ~0.01 on a simulated single node; absolute times are
+// not the paper's, the ordering and ratios are the claim.
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workloads/tpch.h"
+
+namespace s2 {
+namespace {
+
+using bench::EnvDouble;
+using bench::GeoMean;
+using bench::PrintHeader;
+using bench::ScratchDir;
+using bench::Timer;
+
+struct ProductResult {
+  std::string name;
+  double price_per_hour;
+  std::vector<double> query_seconds;  // empty slot = did not run
+  bool finished = true;
+};
+
+std::unique_ptr<Database> OpenAndLoad(EngineProfile profile, double sf,
+                                      const std::string& dir) {
+  DatabaseOptions opts;
+  opts.dir = dir;
+  opts.num_partitions = 1;
+  opts.profile = profile;
+  auto db = Database::Open(opts);
+  if (!db.ok()) return nullptr;
+  if (!tpch::CreateTables(db->get()).ok()) return nullptr;
+  if (!tpch::Load(db->get(), sf).ok()) return nullptr;
+  return std::move(*db);
+}
+
+ProductResult RunAll(const std::string& name, EngineProfile profile,
+                     double price, double sf, double timeout_factor) {
+  ScratchDir dir(("s2-tpch-" + name).c_str());
+  ProductResult result;
+  result.name = name;
+  result.price_per_hour = price;
+  auto db = OpenAndLoad(profile, sf, dir.path());
+  if (db == nullptr) {
+    result.finished = false;
+    return result;
+  }
+  // One cold pass for caching/compilation parity with the paper's method,
+  // then a timed warm pass.
+  double budget = 0;
+  for (int q = 1; q <= 22; ++q) {
+    Timer cold;
+    auto warmup = tpch::RunQuery(db.get(), q);
+    if (!warmup.ok()) {
+      result.finished = false;
+      return result;
+    }
+    budget += cold.Seconds();
+  }
+  // The DNF cutoff: `timeout_factor` x the reference pass of the unified
+  // engine, passed in by the caller via `timeout_factor` multiples of this
+  // product's own cold pass.
+  double cutoff = budget * timeout_factor;
+  Timer total;
+  for (int q = 1; q <= 22; ++q) {
+    Timer t;
+    auto rows = tpch::RunQuery(db.get(), q);
+    if (!rows.ok()) {
+      result.finished = false;
+      return result;
+    }
+    result.query_seconds.push_back(t.Seconds());
+    if (total.Seconds() > cutoff && cutoff > 0) {
+      result.finished = false;  // treat as "did not finish"
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  double sf = bench::EnvDouble("S2_BENCH_TPCH_SF", 0.01);
+  PrintHeader("Table 2: TPC-H summary (scaled down)");
+
+  // Cluster prices mirror the paper's near-equal configurations
+  // ($16.50 / $16.00 / $16.30 / $13.92 per hour).
+  auto s2db = RunAll("S2DB", EngineProfile::kUnified, 16.50, sf, 0);
+  // CDW1/CDW2: same warehouse profile with slightly different scan tuning
+  // stands in for two vendors (both lack the OLTP machinery).
+  auto cdw1 = RunAll("CDW1", EngineProfile::kCloudWarehouse, 16.00, sf, 0);
+  auto cdw2 = RunAll("CDW2", EngineProfile::kCloudWarehouse, 16.30, sf, 0);
+  // CDB: rowstore engine; allowed 50x the warm budget before being called
+  // DNF (the paper gave it 24 hours vs ~5 minutes).
+  auto cdb = RunAll("CDB", EngineProfile::kOperationalRowstore, 13.92, sf, 50);
+
+  printf("%-8s %14s %16s %16s %12s\n", "Product", "price ($/h)",
+         "geomean (sec)", "geomean (cents)", "QPS");
+  for (const auto& result : {s2db, cdw1, cdw2, cdb}) {
+    if (!result.finished || result.query_seconds.size() < 22) {
+      printf("%-8s %14.2f %16s %16s %12s\n", result.name.c_str(),
+             result.price_per_hour, "DNF", "-", "-");
+      continue;
+    }
+    double geomean = bench::GeoMean(result.query_seconds);
+    double cents = geomean * result.price_per_hour / 3600.0 * 100.0;
+    double total = 0;
+    for (double s : result.query_seconds) total += s;
+    printf("%-8s %14.2f %16.4f %16.5f %12.3f\n", result.name.c_str(),
+           result.price_per_hour, geomean, cents, 22.0 / total);
+  }
+
+  printf("\nPaper reference (Table 2, 1TB): S2DB 8.57s geomean vs CDW1 "
+         "10.31s / CDW2 10.06s; CDB did not finish in 24h.\n");
+  if (s2db.finished && cdw1.finished) {
+    printf("Shape check: CDW1/S2DB geomean ratio = %.2f (paper 1.20); CDB "
+           "%s\n",
+           bench::GeoMean(cdw1.query_seconds) /
+               bench::GeoMean(s2db.query_seconds),
+           cdb.finished ? "finished (expected slower or DNF)" : "DNF");
+    if (cdb.finished) {
+      printf("CDB/S2DB geomean ratio = %.1fx slower\n",
+             bench::GeoMean(cdb.query_seconds) /
+                 bench::GeoMean(s2db.query_seconds));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces Table 3 of the paper: CH-benCHmark mixed workloads — TPC-C
+// transactional workers (TWs) and TPC-H-style analytical workers (AWs)
+// over the same tables, in five configurations:
+//
+//   1. TWs alone                       -> peak TpmC
+//   2. AWs alone                       -> peak QPS
+//   3. TWs + AWs sharing one workspace -> both degrade (~50% in the paper)
+//   4. TWs + AWs in separate read-only workspace -> TWs recover to ~case 1,
+//      AWs recover to ~case 2 (paper: -20% from replication apply cost)
+//   5. Same as 4 with the blob store disabled -> async uploads are ~free
+//
+// Note: the paper doubles the hardware in cases 4/5 (a second 2-leaf
+// workspace). In this in-process simulation the workspace isolates engine
+// resources (locks, maintenance, snapshots) but not physical CPUs, so on a
+// small host the recovery in case 4 is visible but less total than the
+// paper's hardware-doubled setup.
+
+#include "bench_util.h"
+#include "blob/blob_store.h"
+#include "workloads/chbench.h"
+
+namespace s2 {
+namespace {
+
+struct CaseResult {
+  double tpmc = 0;
+  double qps = 0;
+};
+
+CaseResult RunCase(int tw, int aw, bool separate_workspace, bool use_blob,
+                   int duration_ms) {
+  bench::ScratchDir dir("s2-chbench");
+  MemBlobStore blob;
+  DatabaseOptions opts;
+  opts.dir = dir.path();
+  opts.num_partitions = 2;
+  opts.blob = use_blob ? &blob : nullptr;
+  opts.background_uploads = use_blob;
+  auto db = Database::Open(opts);
+  if (!db.ok()) return {};
+  tpcc::Scale scale;
+  scale.warehouses = 2;
+  scale.districts_per_warehouse = 4;
+  scale.customers_per_district = 60;
+  scale.items = 200;
+  scale.initial_orders_per_district = bench::EnvInt("S2_BENCH_INITIAL_ORDERS", 150);
+  if (!tpcc::CreateTables(db->get()).ok() ||
+      !tpcc::Load(db->get(), scale).ok()) {
+    return {};
+  }
+
+  int workspace = -1;
+  if (separate_workspace) {
+    if (!(*db)->Checkpoint().ok()) return {};
+    auto ws = (*db)->CreateWorkspace();
+    if (!ws.ok()) {
+      fprintf(stderr, "workspace: %s\n", ws.status().ToString().c_str());
+      return {};
+    }
+    workspace = *ws;
+  }
+
+  chbench::MixedCounters counters;
+  bench::Timer timer;
+  chbench::RunMixed(db->get(), scale, tw, aw, workspace, duration_ms,
+                    &counters);
+  double elapsed = timer.Seconds();
+  CaseResult result;
+  result.tpmc = static_cast<double>(counters.tpcc.new_orders.load()) * 60.0 /
+                elapsed;
+  result.qps =
+      static_cast<double>(counters.analytical_queries.load()) / elapsed;
+  return result;
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  int duration_ms =
+      static_cast<int>(bench::EnvDouble("S2_BENCH_SECONDS", 4.0) * 1000);
+  int tw = bench::EnvInt("S2_BENCH_TW", 1);
+  int aw = bench::EnvInt("S2_BENCH_AW", 1);
+
+  bench::PrintHeader("Table 3: CH-benCHmark mixed workloads (scaled down)");
+  printf("(TW = transactional worker running the TPC-C mix; AW = analytical "
+         "worker cycling CH queries)\n\n");
+
+  auto case1 = RunCase(tw, 0, false, true, duration_ms);
+  auto case2 = RunCase(0, aw, false, true, duration_ms);
+  auto case3 = RunCase(tw, aw, false, true, duration_ms);
+  auto case4 = RunCase(tw, aw, true, true, duration_ms);
+  auto case5 = RunCase(tw, aw, true, false, duration_ms);
+
+  printf("%-4s %-44s %14s %12s\n", "Case", "Configuration", "TpmC", "QPS");
+  printf("%-4d %-44s %14.0f %12s\n", 1, "TWs only", case1.tpmc, "-");
+  printf("%-4d %-44s %14s %12.2f\n", 2, "AWs only", "-", case2.qps);
+  printf("%-4d %-44s %14.0f %12.2f\n", 3, "TWs + AWs, shared workspace",
+         case3.tpmc, case3.qps);
+  printf("%-4d %-44s %14.0f %12.2f\n", 4,
+         "TWs + AWs, separate read-only workspace", case4.tpmc, case4.qps);
+  printf("%-4d %-44s %14.0f %12.2f\n", 5,
+         "TWs + AWs, separate workspace, no blob", case5.tpmc, case5.qps);
+
+  printf("\nPaper reference (Table 3, 1000 warehouses): 7530 TpmC / 0.076 "
+         "QPS isolated; shared workspace halves both (3950 / 0.039); a "
+         "separate workspace restores TWs (7454) and most of AWs (0.062); "
+         "disabling blob changes little (7545 / 0.065).\n");
+  printf("Shape checks: case3/case1 TpmC = %.2f (paper 0.52); case4/case1 "
+         "TpmC = %.2f (paper 0.99); case4/case2 QPS = %.2f (paper 0.82); "
+         "case5/case4 TpmC = %.2f (paper 1.01)\n",
+         case1.tpmc > 0 ? case3.tpmc / case1.tpmc : 0,
+         case1.tpmc > 0 ? case4.tpmc / case1.tpmc : 0,
+         case2.qps > 0 ? case4.qps / case2.qps : 0,
+         case4.tpmc > 0 ? case5.tpmc / case4.tpmc : 0);
+  return 0;
+}

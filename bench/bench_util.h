@@ -1,0 +1,73 @@
+#ifndef S2_BENCH_BENCH_UTIL_H_
+#define S2_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace s2 {
+namespace bench {
+
+/// Wall-clock timer in seconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Reads an environment knob with a default (benches scale via env vars so
+/// CI smoke runs stay fast: S2_BENCH_SCALE=... etc.).
+inline double EnvDouble(const char* name, double def) {
+  const char* v = getenv(name);
+  return v == nullptr ? def : atof(v);
+}
+inline int EnvInt(const char* name, int def) {
+  const char* v = getenv(name);
+  return v == nullptr ? def : atoi(v);
+}
+
+inline double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Scratch directory for one bench run, removed at destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* prefix) {
+    auto dir = MakeTempDir(prefix);
+    if (dir.ok()) path_ = *dir;
+  }
+  ~ScratchDir() {
+    if (!path_.empty()) (void)RemoveDirRecursive(path_);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+inline void PrintHeader(const char* title) {
+  printf("\n================================================================\n");
+  printf("%s\n", title);
+  printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace s2
+
+#endif  // S2_BENCH_BENCH_UTIL_H_

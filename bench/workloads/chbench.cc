@@ -1,0 +1,196 @@
+#include "workloads/chbench.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace s2 {
+namespace chbench {
+
+namespace {
+
+// TPC-C orderline columns (see tpcc.cc): ol_w_id, ol_d_id, ol_o_id,
+// ol_number, ol_i_id, ol_supply_w_id, ol_quantity, ol_amount,
+// ol_delivery_d.
+enum Ol {
+  kOlW = 0,
+  kOlD = 1,
+  kOlO = 2,
+  kOlNumber = 3,
+  kOlItem = 4,
+  kOlSupplyW = 5,
+  kOlQty = 6,
+  kOlAmount = 7,
+  kOlDeliveryD = 8
+};
+// orders: o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt.
+enum O { kOW = 0, kOD = 1, kOId = 2, kOC = 3, kOEntry = 4, kOCarrier = 5,
+         kOOlCnt = 6 };
+
+/// CH-Q1 (adapted TPC-H Q1): per ol_number totals over delivered lines.
+PlanPtr Ch1() {
+  auto scan = std::make_unique<ScanOp>(
+      "orderline", std::vector<int>{kOlNumber, kOlQty, kOlAmount},
+      FilterCmp(kOlDeliveryD, CmpOp::kGt, Value(int64_t{0})));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Col(1)});
+  aggs.push_back({AggKind::kSum, Col(2)});
+  aggs.push_back({AggKind::kCount, nullptr});
+  return std::make_unique<AggregateOp>(std::move(scan),
+                                       std::vector<ExprPtr>{Col(0)},
+                                       std::move(aggs));
+}
+
+/// CH-Q6 (adapted TPC-H Q6): revenue of mid-quantity lines.
+PlanPtr Ch6() {
+  std::vector<std::unique_ptr<FilterNode>> conj;
+  conj.push_back(FilterBetween(kOlQty, Value(int64_t{3}), Value(int64_t{8})));
+  auto scan = std::make_unique<ScanOp>(
+      "orderline", std::vector<int>{kOlAmount}, FilterAnd(std::move(conj)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Col(0)});
+  return std::make_unique<AggregateOp>(std::move(scan),
+                                       std::vector<ExprPtr>{},
+                                       std::move(aggs));
+}
+
+/// CH-Q3-like: revenue of undelivered orders per (w, d, o).
+PlanPtr Ch3() {
+  auto neworder =
+      std::make_unique<ScanOp>("neworder", std::vector<int>{0, 1, 2});
+  auto lines = std::make_unique<ScanOp>(
+      "orderline", std::vector<int>{kOlW, kOlD, kOlO, kOlAmount});
+  auto join = std::make_unique<HashJoinOp>(
+      std::move(lines), std::move(neworder),
+      std::vector<ExprPtr>{Col(0), Col(1), Col(2)},
+      std::vector<ExprPtr>{Col(0), Col(1), Col(2)}, JoinType::kSemi, 3);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Col(3)});
+  auto agg = std::make_unique<AggregateOp>(
+      std::move(join), std::vector<ExprPtr>{Col(0), Col(1), Col(2)},
+      std::move(aggs));
+  auto sort = std::make_unique<SortOp>(
+      std::move(agg), std::vector<SortKey>{{Col(3), true}});
+  return std::make_unique<LimitOp>(std::move(sort), 10);
+}
+
+/// CH-Q12-like: order counts per carrier with line statistics.
+PlanPtr Ch12() {
+  auto orders = std::make_unique<ScanOp>(
+      "orders", std::vector<int>{kOW, kOD, kOId, kOCarrier});
+  auto lines = std::make_unique<ScanOp>(
+      "orderline", std::vector<int>{kOlW, kOlD, kOlO, kOlQty});
+  auto join = std::make_unique<HashJoinOp>(
+      std::move(lines), std::move(orders),
+      std::vector<ExprPtr>{Col(0), Col(1), Col(2)},
+      std::vector<ExprPtr>{Col(0), Col(1), Col(2)}, JoinType::kInner, 4);
+  // cols: 0..3 line, 4..6 order keys, 7 carrier
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  aggs.push_back({AggKind::kSum, Col(3)});
+  return std::make_unique<AggregateOp>(std::move(join),
+                                       std::vector<ExprPtr>{Col(7)},
+                                       std::move(aggs));
+}
+
+/// CH-Q18-like: customers with large undelivered order value.
+PlanPtr Ch18() {
+  auto lines = std::make_unique<ScanOp>(
+      "orderline", std::vector<int>{kOlW, kOlD, kOlO, kOlAmount});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Col(3)});
+  auto per_order = std::make_unique<AggregateOp>(
+      std::move(lines), std::vector<ExprPtr>{Col(0), Col(1), Col(2)},
+      std::move(aggs));
+  auto big = std::make_unique<FilterOp>(
+      std::move(per_order), Gt(Col(3), Lit(Value(20000.0))));
+  auto sort = std::make_unique<SortOp>(
+      std::move(big), std::vector<SortKey>{{Col(3), true}});
+  return std::make_unique<LimitOp>(std::move(sort), 20);
+}
+
+PlanPtr BuildQuery(int q) {
+  switch (q) {
+    case 1: return Ch1();
+    case 2: return Ch6();
+    case 3: return Ch3();
+    case 4: return Ch12();
+    default: return Ch18();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Row>> RunAnalyticalQuery(Database* db, int q,
+                                            int workspace) {
+  // Scatter per partition (tables are co-sharded by warehouse, so each
+  // partition computes an exact partial) and gather here.
+  S2_ASSIGN_OR_RETURN(std::vector<Row> partials,
+                      db->Query([&] { return BuildQuery(q); }, workspace));
+  // Gather: group-merge partial rows (group cols lead, numeric aggregates
+  // combine by sum; count also sums). For limit-style queries the merge is
+  // a harmless re-sort superset.
+  if (partials.empty()) return partials;
+  size_t width = partials[0].size();
+  (void)width;
+  std::map<std::string, Row> merged;
+  for (Row& row : partials) {
+    // Heuristic: all leading non-double columns form the key.
+    size_t key_end = 0;
+    while (key_end < row.size() && !row[key_end].is_double()) ++key_end;
+    std::string key;
+    for (size_t i = 0; i < key_end; ++i) row[i].EncodeTo(&key);
+    auto [it, inserted] = merged.try_emplace(key, row);
+    if (!inserted) {
+      for (size_t i = key_end; i < row.size(); ++i) {
+        if (row[i].is_null()) continue;
+        if (it->second[i].is_null()) {
+          it->second[i] = row[i];
+        } else {
+          it->second[i] = Value(it->second[i].AsNumeric() +
+                                row[i].AsNumeric());
+        }
+      }
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(merged.size());
+  for (auto& [key, row] : merged) out.push_back(std::move(row));
+  return out;
+}
+
+void RunMixed(Database* db, const tpcc::Scale& scale, int tw, int aw,
+              int analytics_workspace, int duration_ms,
+              MixedCounters* counters, uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < tw; ++t) {
+    threads.emplace_back([&, t] {
+      tpcc::Worker worker(db, scale, seed + t, &counters->tpcc);
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)worker.RunOne();
+      }
+    });
+  }
+  for (int a = 0; a < aw; ++a) {
+    threads.emplace_back([&, a] {
+      int q = 1 + (a % kNumQueries);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = RunAnalyticalQuery(db, q, analytics_workspace);
+        if (result.ok()) {
+          counters->analytical_queries.fetch_add(1);
+        } else {
+          counters->analytical_errors.fetch_add(1);
+        }
+        q = q % kNumQueries + 1;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace chbench
+}  // namespace s2

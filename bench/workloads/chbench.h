@@ -1,0 +1,42 @@
+#ifndef S2_BENCH_WORKLOADS_CHBENCH_H_
+#define S2_BENCH_WORKLOADS_CHBENCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "engine/database.h"
+#include "workloads/tpcc.h"
+
+namespace s2 {
+namespace chbench {
+
+/// CH-benCHmark (paper Section 6, Table 3): TPC-C transactions and TPC-H
+/// style analytics running simultaneously over the *same* TPC-C tables.
+/// The analytical side uses a representative subset of the CH query set,
+/// adapted to the TPC-C schema and decomposed per partition (tables are
+/// co-sharded by warehouse, so the scatter/gather split is exact).
+
+/// Runs one analytical query (1..kNumQueries) against the masters
+/// (workspace < 0) or a read-only workspace, returning the result rows.
+Result<std::vector<Row>> RunAnalyticalQuery(Database* db, int q,
+                                            int workspace = -1);
+constexpr int kNumQueries = 5;
+
+struct MixedCounters {
+  tpcc::Counters tpcc;
+  std::atomic<uint64_t> analytical_queries{0};
+  std::atomic<uint64_t> analytical_errors{0};
+};
+
+/// Runs `duration_ms` of mixed load: `tw` transactional worker threads
+/// (TPC-C mix) and `aw` analytical worker threads cycling through the CH
+/// query set. Analytical workers target `analytics_workspace` when >= 0
+/// (Table 3 test cases 4/5), else the primary workspace (test case 3).
+void RunMixed(Database* db, const tpcc::Scale& scale, int tw, int aw,
+              int analytics_workspace, int duration_ms,
+              MixedCounters* counters, uint64_t seed = 99);
+
+}  // namespace chbench
+}  // namespace s2
+
+#endif  // S2_BENCH_WORKLOADS_CHBENCH_H_

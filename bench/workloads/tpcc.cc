@@ -1,0 +1,686 @@
+#include "workloads/tpcc.h"
+
+#include <algorithm>
+#include <set>
+
+namespace s2 {
+namespace tpcc {
+
+namespace {
+
+constexpr int64_t kInvalidItem = 999999999;
+
+/// Keep the write-optimized level 0 small under heavy OLTP churn ("this
+/// write-optimized store is kept small relative to the table size").
+void Tune(TableOptions* t) {
+  t->flush_threshold = 4096;
+  t->segment_rows = 16384;
+}
+
+TableOptions WarehouseTable() {
+  TableOptions t;
+  t.schema = Schema({{"w_id", DataType::kInt64},
+                     {"w_name", DataType::kString},
+                     {"w_tax", DataType::kDouble},
+                     {"w_ytd", DataType::kDouble}});
+  t.unique_key = {0};
+  t.indexes = {{0}};
+  Tune(&t);
+  return t;
+}
+
+TableOptions DistrictTable() {
+  TableOptions t;
+  t.schema = Schema({{"d_w_id", DataType::kInt64},
+                     {"d_id", DataType::kInt64},
+                     {"d_name", DataType::kString},
+                     {"d_tax", DataType::kDouble},
+                     {"d_ytd", DataType::kDouble},
+                     {"d_next_o_id", DataType::kInt64}});
+  t.unique_key = {0, 1};
+  t.indexes = {{0, 1}};
+  Tune(&t);
+  return t;
+}
+
+TableOptions CustomerTable() {
+  TableOptions t;
+  t.schema = Schema({{"c_w_id", DataType::kInt64},
+                     {"c_d_id", DataType::kInt64},
+                     {"c_id", DataType::kInt64},
+                     {"c_last", DataType::kString},
+                     {"c_first", DataType::kString},
+                     {"c_balance", DataType::kDouble},
+                     {"c_ytd_payment", DataType::kDouble},
+                     {"c_payment_cnt", DataType::kInt64},
+                     {"c_data", DataType::kString}});
+  t.unique_key = {0, 1, 2};
+  t.indexes = {{0, 1, 2}, {0, 1, 3}};  // by id and by last name
+  Tune(&t);
+  return t;
+}
+
+TableOptions HistoryTable() {
+  TableOptions t;
+  t.schema = Schema({{"h_w_id", DataType::kInt64},
+                     {"h_d_id", DataType::kInt64},
+                     {"h_c_id", DataType::kInt64},
+                     {"h_amount", DataType::kDouble},
+                     {"h_data", DataType::kString}});
+  Tune(&t);
+  return t;
+}
+
+TableOptions NewOrderTable() {
+  TableOptions t;
+  t.schema = Schema({{"no_w_id", DataType::kInt64},
+                     {"no_d_id", DataType::kInt64},
+                     {"no_o_id", DataType::kInt64}});
+  t.unique_key = {0, 1, 2};
+  t.indexes = {{0, 1, 2}};
+  Tune(&t);
+  return t;
+}
+
+TableOptions OrdersTable() {
+  TableOptions t;
+  t.schema = Schema({{"o_w_id", DataType::kInt64},
+                     {"o_d_id", DataType::kInt64},
+                     {"o_id", DataType::kInt64},
+                     {"o_c_id", DataType::kInt64},
+                     {"o_entry_d", DataType::kInt64},
+                     {"o_carrier_id", DataType::kInt64},
+                     {"o_ol_cnt", DataType::kInt64}});
+  t.unique_key = {0, 1, 2};
+  t.indexes = {{0, 1, 2}, {0, 1, 3}};  // by id and by customer
+  Tune(&t);
+  return t;
+}
+
+TableOptions OrderLineTable() {
+  TableOptions t;
+  t.schema = Schema({{"ol_w_id", DataType::kInt64},
+                     {"ol_d_id", DataType::kInt64},
+                     {"ol_o_id", DataType::kInt64},
+                     {"ol_number", DataType::kInt64},
+                     {"ol_i_id", DataType::kInt64},
+                     {"ol_supply_w_id", DataType::kInt64},
+                     {"ol_quantity", DataType::kInt64},
+                     {"ol_amount", DataType::kDouble},
+                     {"ol_delivery_d", DataType::kInt64}});
+  t.unique_key = {0, 1, 2, 3};
+  t.indexes = {{0, 1, 2, 3}, {0, 1, 2}};
+  t.sort_key = {0, 1, 2};
+  Tune(&t);
+  return t;
+}
+
+TableOptions ItemTable() {
+  TableOptions t;
+  t.schema = Schema({{"i_id", DataType::kInt64},
+                     {"i_name", DataType::kString},
+                     {"i_price", DataType::kDouble},
+                     {"i_data", DataType::kString}});
+  t.unique_key = {0};
+  t.indexes = {{0}};
+  Tune(&t);
+  return t;
+}
+
+TableOptions StockTable() {
+  TableOptions t;
+  t.schema = Schema({{"s_w_id", DataType::kInt64},
+                     {"s_i_id", DataType::kInt64},
+                     {"s_quantity", DataType::kInt64},
+                     {"s_ytd", DataType::kInt64},
+                     {"s_order_cnt", DataType::kInt64}});
+  t.unique_key = {0, 1};
+  t.indexes = {{0, 1}};
+  Tune(&t);
+  return t;
+}
+
+}  // namespace
+
+Status CreateTables(Database* db) {
+  // Everything shards by warehouse id so TPC-C's hot path stays
+  // single-partition; the item catalog is replicated at load time.
+  S2_RETURN_NOT_OK(db->CreateTable("warehouse", WarehouseTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("district", DistrictTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("customer", CustomerTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("history", HistoryTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("neworder", NewOrderTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("orders", OrdersTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("orderline", OrderLineTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("item", ItemTable(), {0}));
+  S2_RETURN_NOT_OK(db->CreateTable("stock", StockTable(), {0}));
+  return Status::OK();
+}
+
+Status Load(Database* db, const Scale& scale, uint64_t seed) {
+  Rng rng(seed);
+  Cluster* cluster = db->cluster();
+
+  // Item catalog, replicated to every partition (read-only after load).
+  for (int p = 0; p < cluster->num_partitions(); ++p) {
+    auto txn = db->Begin();
+    auto h = txn.On(p);
+    UnifiedTable* item = txn.table(p, "item");
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= scale.items; ++i) {
+      rows.push_back({Value(i), Value("item-" + std::to_string(i)),
+                      Value(1.0 + (i % 100)),
+                      Value(i % 10 == 0 ? "ORIGINAL" : "plain")});
+      if (rows.size() >= 1000) {
+        auto r = item->InsertRows(h.id, h.read_ts, rows);
+        if (!r.ok()) {
+          txn.Abort();
+          return r.status();
+        }
+        rows.clear();
+      }
+    }
+    if (!rows.empty()) {
+      auto r = item->InsertRows(h.id, h.read_ts, rows);
+      if (!r.ok()) {
+        txn.Abort();
+        return r.status();
+      }
+    }
+    S2_RETURN_NOT_OK(txn.Commit());
+  }
+
+  static const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE",  "PRI",
+                                     "PRES",  "ESE",   "ANTI",  "CALLY",
+                                     "ATION", "EING"};
+  for (int64_t w = 1; w <= scale.warehouses; ++w) {
+    S2_RETURN_NOT_OK(db->Insert(
+        "warehouse",
+        {{Value(w), Value("wh-" + std::to_string(w)),
+          Value(rng.NextDouble() * 0.2), Value(300000.0)}}));
+    // Stock for every item.
+    std::vector<Row> stock_rows;
+    for (int64_t i = 1; i <= scale.items; ++i) {
+      stock_rows.push_back({Value(w), Value(i),
+                            Value(rng.UniformRange(10, 100)), Value(int64_t{0}),
+                            Value(int64_t{0})});
+      if (stock_rows.size() >= 2000) {
+        S2_RETURN_NOT_OK(db->Insert("stock", stock_rows));
+        stock_rows.clear();
+      }
+    }
+    if (!stock_rows.empty()) S2_RETURN_NOT_OK(db->Insert("stock", stock_rows));
+
+    for (int64_t d = 1; d <= scale.districts_per_warehouse; ++d) {
+      int64_t next_o_id = scale.initial_orders_per_district + 1;
+      S2_RETURN_NOT_OK(db->Insert(
+          "district",
+          {{Value(w), Value(d), Value("dist-" + std::to_string(d)),
+            Value(rng.NextDouble() * 0.2), Value(30000.0), Value(next_o_id)}}));
+      std::vector<Row> customers;
+      for (int64_t c = 1; c <= scale.customers_per_district; ++c) {
+        std::string last = kLastNames[(c - 1) % 10];
+        last += kLastNames[((c - 1) / 10) % 10];
+        customers.push_back({Value(w), Value(d), Value(c), Value(last),
+                             Value("first" + std::to_string(c)),
+                             Value(-10.0), Value(10.0), Value(int64_t{1}),
+                             Value(rng.NextString(30, 60))});
+        if (customers.size() >= 1000) {
+          S2_RETURN_NOT_OK(db->Insert("customer", customers));
+          customers.clear();
+        }
+      }
+      if (!customers.empty()) S2_RETURN_NOT_OK(db->Insert("customer", customers));
+
+      // Initial orders: every customer id once, shuffled; the last third
+      // are undelivered (rows in neworder).
+      std::vector<Row> orders, orderlines, neworders;
+      for (int64_t o = 1; o <= scale.initial_orders_per_district; ++o) {
+        int64_t c =
+            rng.UniformRange(1, scale.customers_per_district);
+        int64_t ol_cnt = rng.UniformRange(5, 15);
+        bool undelivered = o > scale.initial_orders_per_district * 2 / 3;
+        orders.push_back({Value(w), Value(d), Value(o), Value(c),
+                          Value(int64_t{20260101}),
+                          Value(undelivered ? int64_t{0}
+                                            : rng.UniformRange(1, 10)),
+                          Value(ol_cnt)});
+        if (undelivered) {
+          neworders.push_back({Value(w), Value(d), Value(o)});
+        }
+        for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+          orderlines.push_back(
+              {Value(w), Value(d), Value(o), Value(ol),
+               Value(rng.UniformRange(1, scale.items)), Value(w),
+               Value(int64_t{5}), Value(rng.NextDouble() * 9999),
+               Value(undelivered ? int64_t{0} : int64_t{20260101})});
+        }
+      }
+      S2_RETURN_NOT_OK(db->Insert("orders", orders));
+      S2_RETURN_NOT_OK(db->Insert("orderline", orderlines));
+      if (!neworders.empty()) S2_RETURN_NOT_OK(db->Insert("neworder", neworders));
+    }
+  }
+  return db->Maintain();
+}
+
+Worker::Worker(Database* db, const Scale& scale, uint64_t seed,
+               Counters* counters)
+    : db_(db), scale_(scale), rng_(seed), counters_(counters) {}
+
+Status Worker::RunOne() {
+  uint64_t dice = rng_.Uniform(100);
+  Status s;
+  if (dice < 45) {
+    s = NewOrder();
+    if (s.ok()) counters_->new_orders.fetch_add(1);
+  } else if (dice < 88) {
+    s = Payment();
+    if (s.ok()) counters_->payments.fetch_add(1);
+  } else if (dice < 92) {
+    s = OrderStatus();
+    if (s.ok()) counters_->order_status.fetch_add(1);
+  } else if (dice < 96) {
+    s = Delivery();
+    if (s.ok()) counters_->deliveries.fetch_add(1);
+  } else {
+    s = StockLevel();
+    if (s.ok()) counters_->stock_levels.fetch_add(1);
+  }
+  if (!s.ok()) counters_->aborts.fetch_add(1);
+  return s;
+}
+
+Status Worker::NewOrder() {
+  Cluster* cluster = db_->cluster();
+  int64_t w = RandomWarehouse();
+  int64_t d = RandomDistrict();
+  int64_t c = RandomCustomer();
+  int home = cluster->PartitionForKey({Value(w)});
+
+  auto txn = db_->Begin();
+  auto abort = [&](Status s) {
+    txn.Abort();
+    return s;
+  };
+  auto h = txn.On(home);
+
+  // District: read and bump d_next_o_id (the hot row-lock path).
+  UnifiedTable* district = txn.table(home, "district");
+  Row drow;
+  bool found = false;
+  S2_RETURN_NOT_OK(district->LookupByIndex(
+      h.id, h.read_ts, {0, 1}, {Value(w), Value(d)},
+      [&](const Row& row, const RowLocation&) {
+        drow = row;
+        found = true;
+        return false;
+      }));
+  if (!found) return abort(Status::NotFound("district missing"));
+  int64_t o_id = drow[5].as_int();
+  double d_tax = drow[3].as_double();
+  Row new_drow = drow;
+  new_drow[5] = Value(o_id + 1);
+  Status s = district->UpdateByKey(h.id, h.read_ts, {Value(w), Value(d)},
+                                   new_drow);
+  if (!s.ok()) return abort(s);
+
+  // Number of lines; 1% of transactions reference an invalid item and
+  // roll back per the spec.
+  int64_t ol_cnt = rng_.UniformRange(5, 15);
+  bool rollback = rng_.Uniform(100) == 0;
+
+  UnifiedTable* orders = txn.table(home, "orders");
+  UnifiedTable* neworder = txn.table(home, "neworder");
+  UnifiedTable* orderline = txn.table(home, "orderline");
+  UnifiedTable* item = txn.table(home, "item");
+  auto r = orders->InsertRows(
+      h.id, h.read_ts,
+      {{Value(w), Value(d), Value(o_id), Value(c), Value(int64_t{20260701}),
+        Value(int64_t{0}), Value(ol_cnt)}});
+  if (!r.ok()) return abort(r.status());
+  r = neworder->InsertRows(h.id, h.read_ts,
+                           {{Value(w), Value(d), Value(o_id)}});
+  if (!r.ok()) return abort(r.status());
+
+  for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+    int64_t i_id =
+        (rollback && ol == ol_cnt) ? kInvalidItem : RandomItem();
+    // 1% of lines are supplied by a remote warehouse.
+    int64_t supply_w = w;
+    if (scale_.warehouses > 1 && rng_.Uniform(100) == 0) {
+      do {
+        supply_w = RandomWarehouse();
+      } while (supply_w == w);
+    }
+    Row item_row;
+    found = false;
+    S2_RETURN_NOT_OK(item->LookupByIndex(h.id, h.read_ts, {0}, {Value(i_id)},
+                                         [&](const Row& row,
+                                             const RowLocation&) {
+                                           item_row = row;
+                                           found = true;
+                                           return false;
+                                         }));
+    if (!found) return abort(Status::Aborted("invalid item rollback"));
+    double price = item_row[2].as_double();
+
+    int supply_part = cluster->PartitionForKey({Value(supply_w)});
+    auto hs = txn.On(supply_part);
+    UnifiedTable* stock = txn.table(supply_part, "stock");
+    Row stock_row;
+    found = false;
+    S2_RETURN_NOT_OK(stock->LookupByIndex(
+        hs.id, hs.read_ts, {0, 1}, {Value(supply_w), Value(i_id)},
+        [&](const Row& row, const RowLocation&) {
+          stock_row = row;
+          found = true;
+          return false;
+        }));
+    if (!found) return abort(Status::NotFound("stock missing"));
+    int64_t quantity = rng_.UniformRange(1, 10);
+    Row new_stock = stock_row;
+    int64_t s_quantity = stock_row[2].as_int();
+    new_stock[2] = Value(s_quantity >= quantity + 10
+                             ? s_quantity - quantity
+                             : s_quantity - quantity + 91);
+    new_stock[3] = Value(stock_row[3].as_int() + quantity);
+    new_stock[4] = Value(stock_row[4].as_int() + 1);
+    s = stock->UpdateByKey(hs.id, hs.read_ts, {Value(supply_w), Value(i_id)},
+                           new_stock);
+    if (!s.ok()) return abort(s);
+
+    r = orderline->InsertRows(
+        h.id, h.read_ts,
+        {{Value(w), Value(d), Value(o_id), Value(ol), Value(i_id),
+          Value(supply_w), Value(quantity),
+          Value(price * static_cast<double>(quantity) * (1.0 + d_tax)),
+          Value(int64_t{0})}});
+    if (!r.ok()) return abort(r.status());
+  }
+  return txn.Commit();
+}
+
+Status Worker::Payment() {
+  Cluster* cluster = db_->cluster();
+  int64_t w = RandomWarehouse();
+  int64_t d = RandomDistrict();
+  // 85% local customer; 15% remote warehouse/district.
+  int64_t c_w = w, c_d = d;
+  if (scale_.warehouses > 1 && rng_.Uniform(100) < 15) {
+    do {
+      c_w = RandomWarehouse();
+    } while (c_w == w);
+    c_d = RandomDistrict();
+  }
+  double amount = 1.0 + rng_.NextDouble() * 4999.0;
+
+  auto txn = db_->Begin();
+  auto abort = [&](Status s) {
+    txn.Abort();
+    return s;
+  };
+  int home = cluster->PartitionForKey({Value(w)});
+  auto h = txn.On(home);
+
+  UnifiedTable* warehouse = txn.table(home, "warehouse");
+  Row wrow;
+  bool found = false;
+  S2_RETURN_NOT_OK(warehouse->LookupByIndex(h.id, h.read_ts, {0}, {Value(w)},
+                                            [&](const Row& row,
+                                                const RowLocation&) {
+                                              wrow = row;
+                                              found = true;
+                                              return false;
+                                            }));
+  if (!found) return abort(Status::NotFound("warehouse missing"));
+  Row new_wrow = wrow;
+  new_wrow[3] = Value(wrow[3].as_double() + amount);
+  Status s = warehouse->UpdateByKey(h.id, h.read_ts, {Value(w)}, new_wrow);
+  if (!s.ok()) return abort(s);
+
+  UnifiedTable* district = txn.table(home, "district");
+  Row drow;
+  found = false;
+  S2_RETURN_NOT_OK(district->LookupByIndex(
+      h.id, h.read_ts, {0, 1}, {Value(w), Value(d)},
+      [&](const Row& row, const RowLocation&) {
+        drow = row;
+        found = true;
+        return false;
+      }));
+  if (!found) return abort(Status::NotFound("district missing"));
+  Row new_drow = drow;
+  new_drow[4] = Value(drow[4].as_double() + amount);
+  s = district->UpdateByKey(h.id, h.read_ts, {Value(w), Value(d)}, new_drow);
+  if (!s.ok()) return abort(s);
+
+  // Customer on (possibly remote) partition; 60% by last name, 40% by id.
+  int cust_part = cluster->PartitionForKey({Value(c_w)});
+  auto hc = txn.On(cust_part);
+  UnifiedTable* customer = txn.table(cust_part, "customer");
+  Row crow;
+  if (rng_.Uniform(100) < 60) {
+    static const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE",  "PRI",
+                                       "PRES",  "ESE",   "ANTI",  "CALLY",
+                                       "ATION", "EING"};
+    int64_t c = RandomCustomer();
+    std::string last = kLastNames[(c - 1) % 10];
+    last += kLastNames[((c - 1) / 10) % 10];
+    // Collect the matches and take the middle one, per the spec.
+    std::vector<Row> matches;
+    S2_RETURN_NOT_OK(customer->LookupByIndex(
+        hc.id, hc.read_ts, {0, 1, 3}, {Value(c_w), Value(c_d), Value(last)},
+        [&](const Row& row, const RowLocation&) {
+          matches.push_back(row);
+          return true;
+        }));
+    if (matches.empty()) return abort(Status::NotFound("no such last name"));
+    std::sort(matches.begin(), matches.end(),
+              [](const Row& a, const Row& b) {
+                return a[4].as_string() < b[4].as_string();
+              });
+    crow = matches[matches.size() / 2];
+  } else {
+    int64_t c = RandomCustomer();
+    found = false;
+    S2_RETURN_NOT_OK(customer->LookupByIndex(
+        hc.id, hc.read_ts, {0, 1, 2}, {Value(c_w), Value(c_d), Value(c)},
+        [&](const Row& row, const RowLocation&) {
+          crow = row;
+          found = true;
+          return false;
+        }));
+    if (!found) return abort(Status::NotFound("customer missing"));
+  }
+  Row new_crow = crow;
+  new_crow[5] = Value(crow[5].as_double() - amount);
+  new_crow[6] = Value(crow[6].as_double() + amount);
+  new_crow[7] = Value(crow[7].as_int() + 1);
+  s = customer->UpdateByKey(hc.id, hc.read_ts,
+                            {crow[0], crow[1], crow[2]}, new_crow);
+  if (!s.ok()) return abort(s);
+
+  UnifiedTable* history = txn.table(home, "history");
+  auto r = history->InsertRows(
+      h.id, h.read_ts,
+      {{Value(w), Value(d), crow[2], Value(amount), Value("payment")}});
+  if (!r.ok()) return abort(r.status());
+  return txn.Commit();
+}
+
+Status Worker::OrderStatus() {
+  Cluster* cluster = db_->cluster();
+  int64_t w = RandomWarehouse();
+  int64_t d = RandomDistrict();
+  int64_t c = RandomCustomer();
+  int home = cluster->PartitionForKey({Value(w)});
+  auto txn = db_->Begin();
+  auto h = txn.On(home);
+
+  // Most recent order of the customer.
+  UnifiedTable* orders = txn.table(home, "orders");
+  int64_t last_o_id = -1;
+  Status s = orders->LookupByIndex(
+      h.id, h.read_ts, {0, 1, 3}, {Value(w), Value(d), Value(c)},
+      [&](const Row& row, const RowLocation&) {
+        last_o_id = std::max(last_o_id, row[2].as_int());
+        return true;
+      });
+  if (!s.ok()) {
+    txn.Abort();
+    return s;
+  }
+  if (last_o_id >= 0) {
+    UnifiedTable* orderline = txn.table(home, "orderline");
+    int lines = 0;
+    s = orderline->LookupByIndex(h.id, h.read_ts, {0, 1, 2},
+                                 {Value(w), Value(d), Value(last_o_id)},
+                                 [&](const Row&, const RowLocation&) {
+                                   ++lines;
+                                   return true;
+                                 });
+    if (!s.ok()) {
+      txn.Abort();
+      return s;
+    }
+  }
+  return txn.Commit();
+}
+
+Status Worker::Delivery() {
+  Cluster* cluster = db_->cluster();
+  int64_t w = RandomWarehouse();
+  int home = cluster->PartitionForKey({Value(w)});
+  auto txn = db_->Begin();
+  auto abort = [&](Status s) {
+    txn.Abort();
+    return s;
+  };
+  auto h = txn.On(home);
+  UnifiedTable* neworder = txn.table(home, "neworder");
+  UnifiedTable* orders = txn.table(home, "orders");
+  UnifiedTable* orderline = txn.table(home, "orderline");
+  UnifiedTable* customer = txn.table(home, "customer");
+  int64_t carrier = rng_.UniformRange(1, 10);
+
+  for (int64_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
+    // Oldest undelivered order for this district.
+    int64_t o_id = -1;
+    S2_RETURN_NOT_OK(neworder->LookupByIndex(
+        h.id, h.read_ts, {0, 1}, {Value(w), Value(d)},
+        [&](const Row& row, const RowLocation&) {
+          int64_t candidate = row[2].as_int();
+          if (o_id < 0 || candidate < o_id) o_id = candidate;
+          return true;
+        }));
+    if (o_id < 0) continue;  // district fully delivered
+    Status s = neworder->DeleteByKey(h.id, h.read_ts,
+                                     {Value(w), Value(d), Value(o_id)});
+    if (!s.ok()) return abort(s);
+
+    Row orow;
+    bool found = false;
+    S2_RETURN_NOT_OK(orders->LookupByIndex(
+        h.id, h.read_ts, {0, 1, 2}, {Value(w), Value(d), Value(o_id)},
+        [&](const Row& row, const RowLocation&) {
+          orow = row;
+          found = true;
+          return false;
+        }));
+    if (!found) return abort(Status::NotFound("order missing"));
+    Row new_orow = orow;
+    new_orow[5] = Value(carrier);
+    s = orders->UpdateByKey(h.id, h.read_ts,
+                            {Value(w), Value(d), Value(o_id)}, new_orow);
+    if (!s.ok()) return abort(s);
+
+    double total = 0;
+    std::vector<Row> lines;
+    S2_RETURN_NOT_OK(orderline->LookupByIndex(
+        h.id, h.read_ts, {0, 1, 2}, {Value(w), Value(d), Value(o_id)},
+        [&](const Row& row, const RowLocation&) {
+          lines.push_back(row);
+          return true;
+        }));
+    for (const Row& line : lines) {
+      total += line[7].as_double();
+      Row new_line = line;
+      new_line[8] = Value(int64_t{20260701});
+      s = orderline->UpdateByKey(
+          h.id, h.read_ts, {line[0], line[1], line[2], line[3]}, new_line);
+      if (!s.ok()) return abort(s);
+    }
+
+    int64_t c = orow[3].as_int();
+    Row crow;
+    found = false;
+    S2_RETURN_NOT_OK(customer->LookupByIndex(
+        h.id, h.read_ts, {0, 1, 2}, {Value(w), Value(d), Value(c)},
+        [&](const Row& row, const RowLocation&) {
+          crow = row;
+          found = true;
+          return false;
+        }));
+    if (!found) return abort(Status::NotFound("customer missing"));
+    Row new_crow = crow;
+    new_crow[5] = Value(crow[5].as_double() + total);
+    s = customer->UpdateByKey(h.id, h.read_ts,
+                              {Value(w), Value(d), Value(c)}, new_crow);
+    if (!s.ok()) return abort(s);
+  }
+  return txn.Commit();
+}
+
+Status Worker::StockLevel() {
+  Cluster* cluster = db_->cluster();
+  int64_t w = RandomWarehouse();
+  int64_t d = RandomDistrict();
+  int64_t threshold = rng_.UniformRange(10, 20);
+  int home = cluster->PartitionForKey({Value(w)});
+  auto txn = db_->Begin();
+  auto h = txn.On(home);
+
+  UnifiedTable* district = txn.table(home, "district");
+  int64_t next_o_id = 0;
+  S2_RETURN_NOT_OK(district->LookupByIndex(
+      h.id, h.read_ts, {0, 1}, {Value(w), Value(d)},
+      [&](const Row& row, const RowLocation&) {
+        next_o_id = row[5].as_int();
+        return false;
+      }));
+
+  // Items in the last 20 orders with stock below the threshold.
+  UnifiedTable* orderline = txn.table(home, "orderline");
+  UnifiedTable* stock = txn.table(home, "stock");
+  std::set<int64_t> low_items;
+  for (int64_t o = std::max<int64_t>(1, next_o_id - 20); o < next_o_id; ++o) {
+    std::vector<int64_t> items;
+    Status s = orderline->LookupByIndex(
+        h.id, h.read_ts, {0, 1, 2}, {Value(w), Value(d), Value(o)},
+        [&](const Row& row, const RowLocation&) {
+          items.push_back(row[4].as_int());
+          return true;
+        });
+    if (!s.ok()) {
+      txn.Abort();
+      return s;
+    }
+    for (int64_t i_id : items) {
+      Status ls = stock->LookupByIndex(
+          h.id, h.read_ts, {0, 1}, {Value(w), Value(i_id)},
+          [&](const Row& row, const RowLocation&) {
+            if (row[2].as_int() < threshold) low_items.insert(i_id);
+            return false;
+          });
+      if (!ls.ok()) {
+        txn.Abort();
+        return ls;
+      }
+    }
+  }
+  return txn.Commit();
+}
+
+}  // namespace tpcc
+}  // namespace s2

@@ -1,0 +1,87 @@
+#ifndef S2_BENCH_WORKLOADS_TPCC_H_
+#define S2_BENCH_WORKLOADS_TPCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "engine/database.h"
+
+namespace s2 {
+namespace tpcc {
+
+/// Scaled-down TPC-C sizing. The official spec uses 10 districts, 3000
+/// customers per district, and 100k items; the defaults here shrink the
+/// per-warehouse population so laptop-scale runs finish quickly while
+/// keeping the access skew and transaction mix of the spec. The reported
+/// metric is still new-order transactions per minute (tpmC).
+struct Scale {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 300;
+  int items = 1000;
+  int initial_orders_per_district = 30;
+};
+
+/// Creates the nine TPC-C tables, sharded by warehouse id, with the
+/// indexes, sort keys, and unique keys a production deployment would use.
+Status CreateTables(Database* db);
+
+/// Loads the initial population per `scale`. Deterministic for a seed.
+Status Load(Database* db, const Scale& scale, uint64_t seed = 42);
+
+/// Result counters for a driver run.
+struct Counters {
+  std::atomic<uint64_t> new_orders{0};
+  std::atomic<uint64_t> payments{0};
+  std::atomic<uint64_t> order_status{0};
+  std::atomic<uint64_t> deliveries{0};
+  std::atomic<uint64_t> stock_levels{0};
+  std::atomic<uint64_t> aborts{0};
+
+  uint64_t total() const {
+    return new_orders + payments + order_status + deliveries + stock_levels;
+  }
+};
+
+/// One TPC-C terminal: runs the standard transaction mix (45% new-order,
+/// 43% payment, 4% each order-status / delivery / stock-level) against the
+/// database. Thread-safe to run many workers concurrently.
+class Worker {
+ public:
+  Worker(Database* db, const Scale& scale, uint64_t seed, Counters* counters);
+
+  /// Runs exactly one randomly chosen transaction (with retry-on-abort
+  /// left to the caller; an aborted transaction counts in
+  /// counters->aborts and is not retried here).
+  Status RunOne();
+
+  // Individual transactions (exposed for tests).
+  Status NewOrder();
+  Status Payment();
+  Status OrderStatus();
+  Status Delivery();
+  Status StockLevel();
+
+ private:
+  int64_t RandomWarehouse() { return rng_.UniformRange(1, scale_.warehouses); }
+  int64_t RandomDistrict() {
+    return rng_.UniformRange(1, scale_.districts_per_warehouse);
+  }
+  int64_t RandomCustomer() {
+    return rng_.NonUniform(1023, 1, scale_.customers_per_district);
+  }
+  int64_t RandomItem() { return rng_.NonUniform(8191, 1, scale_.items); }
+
+  Database* db_;
+  Scale scale_;
+  Rng rng_;
+  Counters* counters_;
+};
+
+}  // namespace tpcc
+}  // namespace s2
+
+#endif  // S2_BENCH_WORKLOADS_TPCC_H_

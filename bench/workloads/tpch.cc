@@ -1,0 +1,384 @@
+#include "workloads/tpch.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "workloads/tpch_schema.h"
+
+namespace s2 {
+namespace tpch {
+
+namespace {
+
+const int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysIn(int y, int m) {
+  return m == 2 && IsLeap(y) ? 29 : kDaysInMonth[m - 1];
+}
+
+}  // namespace
+
+int64_t DateAddDays(int64_t yyyymmdd, int days) {
+  int y = static_cast<int>(yyyymmdd / 10000);
+  int m = static_cast<int>((yyyymmdd / 100) % 100);
+  int d = static_cast<int>(yyyymmdd % 100);
+  d += days;
+  while (d > DaysIn(y, m)) {
+    d -= DaysIn(y, m);
+    if (++m > 12) {
+      m = 1;
+      ++y;
+    }
+  }
+  while (d < 1) {
+    if (--m < 1) {
+      m = 12;
+      --y;
+    }
+    d += DaysIn(y, m);
+  }
+  return int64_t{y} * 10000 + m * 100 + d;
+}
+
+int64_t DateAddMonths(int64_t yyyymmdd, int months) {
+  int y = static_cast<int>(yyyymmdd / 10000);
+  int m = static_cast<int>((yyyymmdd / 100) % 100);
+  int d = static_cast<int>(yyyymmdd % 100);
+  int total = (y * 12 + (m - 1)) + months;
+  y = total / 12;
+  m = total % 12 + 1;
+  d = std::min(d, DaysIn(y, m));
+  return int64_t{y} * 10000 + m * 100 + d;
+}
+
+Status CreateTables(Database* db) {
+  {
+    TableOptions t;
+    t.schema = Schema({{"r_regionkey", DataType::kInt64},
+                       {"r_name", DataType::kString}});
+    t.unique_key = {0};
+    t.indexes = {{0}};
+    S2_RETURN_NOT_OK(db->CreateTable("region", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"n_nationkey", DataType::kInt64},
+                       {"n_name", DataType::kString},
+                       {"n_regionkey", DataType::kInt64}});
+    t.unique_key = {0};
+    t.indexes = {{0}};
+    S2_RETURN_NOT_OK(db->CreateTable("nation", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"s_suppkey", DataType::kInt64},
+                       {"s_name", DataType::kString},
+                       {"s_address", DataType::kString},
+                       {"s_nationkey", DataType::kInt64},
+                       {"s_phone", DataType::kString},
+                       {"s_acctbal", DataType::kDouble},
+                       {"s_comment", DataType::kString}});
+    t.unique_key = {0};
+    t.indexes = {{0}};
+    S2_RETURN_NOT_OK(db->CreateTable("supplier", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"c_custkey", DataType::kInt64},
+                       {"c_name", DataType::kString},
+                       {"c_address", DataType::kString},
+                       {"c_nationkey", DataType::kInt64},
+                       {"c_phone", DataType::kString},
+                       {"c_acctbal", DataType::kDouble},
+                       {"c_mktsegment", DataType::kString},
+                       {"c_comment", DataType::kString}});
+    t.unique_key = {0};
+    t.indexes = {{0}};
+    S2_RETURN_NOT_OK(db->CreateTable("customer", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"p_partkey", DataType::kInt64},
+                       {"p_name", DataType::kString},
+                       {"p_mfgr", DataType::kString},
+                       {"p_brand", DataType::kString},
+                       {"p_type", DataType::kString},
+                       {"p_size", DataType::kInt64},
+                       {"p_container", DataType::kString},
+                       {"p_retailprice", DataType::kDouble}});
+    t.unique_key = {0};
+    t.indexes = {{0}};
+    S2_RETURN_NOT_OK(db->CreateTable("part", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"ps_partkey", DataType::kInt64},
+                       {"ps_suppkey", DataType::kInt64},
+                       {"ps_availqty", DataType::kInt64},
+                       {"ps_supplycost", DataType::kDouble}});
+    t.unique_key = {0, 1};
+    t.indexes = {{0}, {1}};
+    S2_RETURN_NOT_OK(db->CreateTable("partsupp", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"o_orderkey", DataType::kInt64},
+                       {"o_custkey", DataType::kInt64},
+                       {"o_orderstatus", DataType::kString},
+                       {"o_totalprice", DataType::kDouble},
+                       {"o_orderdate", DataType::kInt64},
+                       {"o_orderpriority", DataType::kString},
+                       {"o_clerk", DataType::kString},
+                       {"o_shippriority", DataType::kInt64},
+                       {"o_comment", DataType::kString}});
+    t.unique_key = {0};
+    t.indexes = {{0}, {1}};
+    t.sort_key = {4};  // by order date: the classic warehouse sort key
+    S2_RETURN_NOT_OK(db->CreateTable("orders", t, {0}));
+  }
+  {
+    TableOptions t;
+    t.schema = Schema({{"l_orderkey", DataType::kInt64},
+                       {"l_partkey", DataType::kInt64},
+                       {"l_suppkey", DataType::kInt64},
+                       {"l_linenumber", DataType::kInt64},
+                       {"l_quantity", DataType::kDouble},
+                       {"l_extendedprice", DataType::kDouble},
+                       {"l_discount", DataType::kDouble},
+                       {"l_tax", DataType::kDouble},
+                       {"l_returnflag", DataType::kString},
+                       {"l_linestatus", DataType::kString},
+                       {"l_shipdate", DataType::kInt64},
+                       {"l_commitdate", DataType::kInt64},
+                       {"l_receiptdate", DataType::kInt64},
+                       {"l_shipinstruct", DataType::kString},
+                       {"l_shipmode", DataType::kString}});
+    t.unique_key = {0, 3};
+    t.indexes = {{0}, {1}, {2}};
+    t.sort_key = {10};  // by ship date
+    S2_RETURN_NOT_OK(db->CreateTable("lineitem", t, {0}));
+  }
+  return Status::OK();
+}
+
+int64_t RowsFor(const std::string& table, double sf) {
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return std::max<int64_t>(5, int64_t(10000 * sf));
+  if (table == "customer") return std::max<int64_t>(10, int64_t(150000 * sf));
+  if (table == "part") return std::max<int64_t>(10, int64_t(200000 * sf));
+  if (table == "partsupp") return 4 * RowsFor("part", sf);
+  if (table == "orders") return std::max<int64_t>(10, int64_t(1500000 * sf));
+  if (table == "lineitem") return 4 * RowsFor("orders", sf);  // approx
+  return 0;
+}
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// Region of each nation, per the spec.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                           "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerSyl2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                                "CAN", "DRUM"};
+const char* kNameWords[] = {"almond", "antique", "aquamarine", "azure",
+                            "beige", "bisque", "black", "blanched", "blue",
+                            "blush", "brown", "burlywood", "chartreuse",
+                            "chocolate", "coral", "cornflower", "cream",
+                            "cyan", "dark", "deep", "dim", "dodger",
+                            "drab", "firebrick", "floral", "forest",
+                            "frosted", "gainsboro", "ghost", "goldenrod",
+                            "green", "grey", "honeydew", "hot", "indian",
+                            "ivory", "khaki", "lace", "lavender", "lawn"};
+
+std::string Phone(Rng* rng, int64_t nation) {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+           static_cast<int>(10 + nation),
+           static_cast<int>(rng->UniformRange(100, 999)),
+           static_cast<int>(rng->UniformRange(100, 999)),
+           static_cast<int>(rng->UniformRange(1000, 9999)));
+  return buf;
+}
+
+int64_t RandomDate(Rng* rng) {
+  // Uniform between 1992-01-01 and 1998-08-02 as days-from-epoch-ish.
+  int days = static_cast<int>(rng->Uniform(2405));
+  return DateAddDays(19920101, days);
+}
+
+Status InsertBatched(Database* db, const std::string& table,
+                     std::vector<Row>* rows, bool force) {
+  if (rows->empty()) return Status::OK();
+  if (!force && rows->size() < 2000) return Status::OK();
+  S2_RETURN_NOT_OK(db->Insert(table, *rows));
+  rows->clear();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Load(Database* db, double sf, uint64_t seed) {
+  Rng rng(seed);
+  // Region & nation.
+  {
+    std::vector<Row> rows;
+    for (int64_t r = 0; r < 5; ++r) rows.push_back({Value(r), Value(kRegions[r])});
+    S2_RETURN_NOT_OK(db->Insert("region", rows));
+    rows.clear();
+    for (int64_t n = 0; n < 25; ++n) {
+      rows.push_back({Value(n), Value(kNations[n]),
+                      Value(int64_t{kNationRegion[n]})});
+    }
+    S2_RETURN_NOT_OK(db->Insert("nation", rows));
+  }
+
+  int64_t num_suppliers = RowsFor("supplier", sf);
+  {
+    std::vector<Row> rows;
+    for (int64_t s = 1; s <= num_suppliers; ++s) {
+      int64_t nation = rng.UniformRange(0, 24);
+      // ~0.05% of suppliers have complaint comments (Q16).
+      std::string comment = rng.Uniform(200) == 0
+                                ? "wake Customer askjdhle Complaints sleep"
+                                : rng.NextString(20, 40);
+      rows.push_back({Value(s),
+                      Value("Supplier#" + std::to_string(s)),
+                      Value(rng.NextString(10, 30)), Value(nation),
+                      Value(Phone(&rng, nation)),
+                      Value(rng.NextDouble() * 11000.0 - 1000.0),
+                      Value(std::move(comment))});
+      S2_RETURN_NOT_OK(InsertBatched(db, "supplier", &rows, false));
+    }
+    S2_RETURN_NOT_OK(InsertBatched(db, "supplier", &rows, true));
+  }
+
+  int64_t num_customers = RowsFor("customer", sf);
+  {
+    std::vector<Row> rows;
+    for (int64_t c = 1; c <= num_customers; ++c) {
+      int64_t nation = rng.UniformRange(0, 24);
+      std::string comment = rng.Uniform(50) == 0
+                                ? "blithely special requests sleep furiously"
+                                : rng.NextString(20, 40);
+      rows.push_back({Value(c), Value("Customer#" + std::to_string(c)),
+                      Value(rng.NextString(10, 30)), Value(nation),
+                      Value(Phone(&rng, nation)),
+                      Value(rng.NextDouble() * 11000.0 - 1000.0),
+                      Value(kSegments[rng.Uniform(5)]),
+                      Value(std::move(comment))});
+      S2_RETURN_NOT_OK(InsertBatched(db, "customer", &rows, false));
+    }
+    S2_RETURN_NOT_OK(InsertBatched(db, "customer", &rows, true));
+  }
+
+  int64_t num_parts = RowsFor("part", sf);
+  {
+    std::vector<Row> part_rows;
+    std::vector<Row> ps_rows;
+    for (int64_t p = 1; p <= num_parts; ++p) {
+      std::string type = std::string(kTypeSyl1[rng.Uniform(6)]) + " " +
+                         kTypeSyl2[rng.Uniform(5)] + " " +
+                         kTypeSyl3[rng.Uniform(5)];
+      std::string name = std::string(kNameWords[rng.Uniform(40)]) + " " +
+                         kNameWords[rng.Uniform(40)] + " " +
+                         kNameWords[rng.Uniform(40)];
+      std::string container = std::string(kContainerSyl1[rng.Uniform(5)]) +
+                              " " + kContainerSyl2[rng.Uniform(8)];
+      char brand[16];
+      snprintf(brand, sizeof(brand), "Brand#%d%d",
+               static_cast<int>(rng.UniformRange(1, 5)),
+               static_cast<int>(rng.UniformRange(1, 5)));
+      part_rows.push_back({Value(p), Value(std::move(name)),
+                           Value("Manufacturer#" +
+                                 std::to_string(rng.UniformRange(1, 5))),
+                           Value(brand), Value(std::move(type)),
+                           Value(rng.UniformRange(1, 50)),
+                           Value(std::move(container)),
+                           Value(900.0 + (p % 1000))});
+      for (int64_t i = 0; i < 4; ++i) {
+        int64_t supp = (p + i * (num_suppliers / 4 + 1)) % num_suppliers + 1;
+        ps_rows.push_back({Value(p), Value(supp),
+                           Value(rng.UniformRange(1, 9999)),
+                           Value(1.0 + rng.NextDouble() * 999.0)});
+      }
+      S2_RETURN_NOT_OK(InsertBatched(db, "part", &part_rows, false));
+      S2_RETURN_NOT_OK(InsertBatched(db, "partsupp", &ps_rows, false));
+    }
+    S2_RETURN_NOT_OK(InsertBatched(db, "part", &part_rows, true));
+    S2_RETURN_NOT_OK(InsertBatched(db, "partsupp", &ps_rows, true));
+  }
+
+  int64_t num_orders = RowsFor("orders", sf);
+  {
+    std::vector<Row> order_rows;
+    std::vector<Row> line_rows;
+    for (int64_t o = 1; o <= num_orders; ++o) {
+      int64_t cust = rng.UniformRange(1, num_customers);
+      int64_t order_date = RandomDate(&rng);
+      int64_t lines = rng.UniformRange(1, 7);
+      double total = 0;
+      std::string comment = rng.Uniform(100) == 0
+                                ? "pending special requests haggle"
+                                : rng.NextString(15, 30);
+      for (int64_t l = 1; l <= lines; ++l) {
+        int64_t part = rng.UniformRange(1, num_parts);
+        int64_t supp = (part + (l % 4) * (num_suppliers / 4 + 1)) %
+                           num_suppliers + 1;
+        double qty = static_cast<double>(rng.UniformRange(1, 50));
+        double price = qty * (900.0 + (part % 1000)) / 10.0;
+        double discount = rng.UniformRange(0, 10) / 100.0;
+        double tax = rng.UniformRange(0, 8) / 100.0;
+        int64_t ship = DateAddDays(order_date, 1 + static_cast<int>(rng.Uniform(121)));
+        int64_t commit = DateAddDays(order_date, 30 + static_cast<int>(rng.Uniform(61)));
+        int64_t receipt = DateAddDays(ship, 1 + static_cast<int>(rng.Uniform(30)));
+        const char* returnflag =
+            receipt <= 19950617 ? (rng.Bernoulli(0.5) ? "R" : "A") : "N";
+        const char* linestatus = ship > 19950617 ? "O" : "F";
+        total += price * (1 + tax) * (1 - discount);
+        line_rows.push_back(
+            {Value(o), Value(part), Value(supp), Value(l), Value(qty),
+             Value(price), Value(discount), Value(tax), Value(returnflag),
+             Value(linestatus), Value(ship), Value(commit), Value(receipt),
+             Value(kInstructs[rng.Uniform(4)]),
+             Value(kShipModes[rng.Uniform(7)])});
+      }
+      order_rows.push_back(
+          {Value(o), Value(cust),
+           Value(order_date > 19950617 ? "O" : "F"), Value(total),
+           Value(order_date), Value(kPriorities[rng.Uniform(5)]),
+           Value("Clerk#" + std::to_string(rng.UniformRange(1, 1000))),
+           Value(int64_t{0}), Value(std::move(comment))});
+      S2_RETURN_NOT_OK(InsertBatched(db, "orders", &order_rows, false));
+      S2_RETURN_NOT_OK(InsertBatched(db, "lineitem", &line_rows, false));
+    }
+    S2_RETURN_NOT_OK(InsertBatched(db, "orders", &order_rows, true));
+    S2_RETURN_NOT_OK(InsertBatched(db, "lineitem", &line_rows, true));
+  }
+  return db->Maintain();
+}
+
+}  // namespace tpch
+}  // namespace s2

@@ -1,0 +1,40 @@
+#ifndef S2_BENCH_WORKLOADS_TPCH_H_
+#define S2_BENCH_WORKLOADS_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "query/plan.h"
+
+namespace s2 {
+namespace tpch {
+
+/// Dates are stored as int64 YYYYMMDD (e.g. 19940101). Calendar-correct
+/// day arithmetic for interval predicates.
+int64_t DateAddDays(int64_t yyyymmdd, int days);
+int64_t DateAddMonths(int64_t yyyymmdd, int months);
+inline int64_t DateYear(int64_t yyyymmdd) { return yyyymmdd / 10000; }
+
+/// Creates the eight TPC-H tables with production-style sort keys,
+/// indexes, and shard keys.
+Status CreateTables(Database* db);
+
+/// Loads scale factor `sf` (SF 1.0 == 6M lineitems; use 0.01-0.05 for
+/// laptop-scale runs). Deterministic per seed.
+Status Load(Database* db, double sf, uint64_t seed = 7);
+
+/// Runs query q (1-22) against a single-partition database and returns its
+/// result rows. Queries are hand-built physical plans over the plan
+/// operators (the paper's evaluation uses the standard TPC-H queries; a
+/// SQL front end is out of scope).
+Result<std::vector<Row>> RunQuery(Database* db, int q);
+
+/// Number of rows the generator produced for a table at `sf`.
+int64_t RowsFor(const std::string& table, double sf);
+
+}  // namespace tpch
+}  // namespace s2
+
+#endif  // S2_BENCH_WORKLOADS_TPCH_H_

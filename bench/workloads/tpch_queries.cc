@@ -1,0 +1,824 @@
+#include <algorithm>
+#include <map>
+
+#include "workloads/tpch.h"
+#include "workloads/tpch_schema.h"
+
+namespace s2 {
+namespace tpch {
+
+namespace {
+
+namespace l = lineitem;
+namespace o = orders;
+namespace c = customer;
+namespace p = part;
+namespace ps = partsupp;
+namespace su = supplier;
+namespace na = nation;
+namespace re = region;
+
+using FNode = std::unique_ptr<FilterNode>;
+using FList = std::vector<std::unique_ptr<FilterNode>>;
+
+ExprPtr Revenue(int ep_col, int disc_col) {
+  return Mul(Col(ep_col), Sub(Lit(Value(1.0)), Col(disc_col)));
+}
+
+/// Runs one plan against the (single-partition) database.
+Result<std::vector<Row>> RunSingle(Database* db, PlanPtr plan) {
+  PlanNode* raw = plan.get();
+  return db->Query([&]() -> PlanPtr {
+    (void)raw;
+    return std::move(plan);
+  });
+}
+
+PlanPtr Scan(const std::string& table, std::vector<int> cols,
+             FNode filter = nullptr, ExprPtr post = nullptr) {
+  return std::make_unique<ScanOp>(table, std::move(cols), std::move(filter),
+                                  std::move(post));
+}
+
+PlanPtr Join(PlanPtr left, PlanPtr right, std::vector<ExprPtr> lk,
+             std::vector<ExprPtr> rk, size_t right_width,
+             JoinType type = JoinType::kInner) {
+  return std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                      std::move(lk), std::move(rk), type,
+                                      right_width);
+}
+
+PlanPtr Agg(PlanPtr child, std::vector<ExprPtr> keys,
+            std::vector<AggSpec> aggs) {
+  return std::make_unique<AggregateOp>(std::move(child), std::move(keys),
+                                       std::move(aggs));
+}
+
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys) {
+  return std::make_unique<SortOp>(std::move(child), std::move(keys));
+}
+
+PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(exprs));
+}
+
+PlanPtr Limit(PlanPtr child, size_t n) {
+  return std::make_unique<LimitOp>(std::move(child), n);
+}
+
+PlanPtr Filter(PlanPtr child, ExprPtr pred) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(pred));
+}
+
+FNode AndF(FList children) { return FilterAnd(std::move(children)); }
+
+ExprPtr Year(ExprPtr date) {
+  return Div(date, Lit(Value(int64_t{10000})));
+}
+
+// --- Q1: pricing summary report ---
+Result<std::vector<Row>> Q1(Database* db) {
+  // l_shipdate <= date '1998-12-01' - interval '90' day
+  auto scan = Scan("lineitem",
+                   {l::kQuantity, l::kExtendedPrice, l::kDiscount, l::kTax,
+                    l::kReturnFlag, l::kLineStatus},
+                   FilterCmp(l::kShipDate, CmpOp::kLe,
+                             Value(DateAddDays(19981201, -90))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Col(0)});                       // sum_qty
+  aggs.push_back({AggKind::kSum, Col(1)});                       // sum_base
+  aggs.push_back({AggKind::kSum, Revenue(1, 2)});                // sum_disc
+  aggs.push_back({AggKind::kSum, Mul(Revenue(1, 2),
+                                     Add(Lit(Value(1.0)), Col(3)))});
+  aggs.push_back({AggKind::kAvg, Col(0)});
+  aggs.push_back({AggKind::kAvg, Col(1)});
+  aggs.push_back({AggKind::kAvg, Col(2)});
+  aggs.push_back({AggKind::kCount, nullptr});
+  auto plan = Sort(Agg(std::move(scan), {Col(4), Col(5)}, std::move(aggs)),
+                   {{Col(0), false}, {Col(1), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q2: minimum cost supplier ---
+Result<std::vector<Row>> Q2(Database* db) {
+  auto eu_suppliers = [&] {
+    // supplier x nation x region(EUROPE):
+    // out: s_suppkey, s_name, s_address, s_phone, s_acctbal, n_name
+    auto nr = Join(Scan("nation", {na::kNationKey, na::kName, na::kRegionKey}),
+                   Scan("region", {re::kRegionKey},
+                        FilterEq(re::kName, Value("EUROPE"))),
+                   {Col(2)}, {Col(0)}, 1);
+    auto sj = Join(Scan("supplier",
+                        {su::kSuppKey, su::kName, su::kAddress, su::kPhone,
+                         su::kAcctBal, su::kNationKey}),
+                   std::move(nr), {Col(5)}, {Col(0)}, 4);
+    // cols: 0..5 supplier, 6 n_nationkey, 7 n_name, 8 n_regionkey, 9 r_key
+    return Project(std::move(sj), {Col(0), Col(1), Col(2), Col(3), Col(4),
+                                   Col(7)});
+  };
+  // partsupp joined with EU suppliers: ps_partkey, ps_supplycost, supplier...
+  auto ps_eu = [&] {
+    auto join = Join(Scan("partsupp", {ps::kPartKey, ps::kSuppKey,
+                                       ps::kSupplyCost}),
+                     eu_suppliers(), {Col(1)}, {Col(0)}, 6);
+    // cols: 0 partkey, 1 suppkey, 2 cost, 3.. supplier cols (6)
+    return join;
+  };
+  // Filtered parts: size = 15, type like '%BRASS' (post filter runs on the
+  // projected row, so p_type is projected).
+  auto parts_f = Scan("part", {p::kPartKey, p::kMfgr, p::kType},
+                      FilterEq(p::kSize, Value(int64_t{15})),
+                      Like(Col(2), "%BRASS"));
+
+  // candidates: part x ps_eu
+  auto cand = Join(std::move(parts_f), ps_eu(), {Col(0)}, {Col(0)}, 9);
+  // cols: 0 p_partkey, 1 p_mfgr, 2 p_type, 3 ps_partkey, 4 ps_suppkey,
+  //       5 ps_cost, 6 s_suppkey, 7 s_name, 8 s_address, 9 s_phone,
+  //       10 s_acctbal, 11 n_name
+  S2_ASSIGN_OR_RETURN(std::vector<Row> cand_rows,
+                      RunSingle(db, std::move(cand)));
+  // min cost per part, then keep rows at the min.
+  std::map<int64_t, double> min_cost;
+  for (const Row& row : cand_rows) {
+    int64_t key = row[0].as_int();
+    double cost = row[5].as_double();
+    auto it = min_cost.find(key);
+    if (it == min_cost.end() || cost < it->second) min_cost[key] = cost;
+  }
+  std::vector<Row> out;
+  for (const Row& row : cand_rows) {
+    if (row[5].as_double() == min_cost[row[0].as_int()]) {
+      // s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+      out.push_back({row[10], row[7], row[11], row[0], row[1], row[8],
+                     row[9]});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    int cmp = a[0].Compare(b[0]);
+    if (cmp != 0) return cmp > 0;  // s_acctbal desc
+    cmp = a[2].Compare(b[2]);
+    if (cmp != 0) return cmp < 0;
+    cmp = a[1].Compare(b[1]);
+    if (cmp != 0) return cmp < 0;
+    return a[3].Compare(b[3]) < 0;
+  });
+  if (out.size() > 100) out.resize(100);
+  return out;
+}
+
+// --- Q3: shipping priority ---
+Result<std::vector<Row>> Q3(Database* db) {
+  auto cust = Scan("customer", {c::kCustKey},
+                   FilterEq(c::kMktSegment, Value("BUILDING")));
+  auto ord = Scan("orders",
+                  {o::kOrderKey, o::kCustKey, o::kOrderDate, o::kShipPriority},
+                  FilterCmp(o::kOrderDate, CmpOp::kLt,
+                            Value(int64_t{19950315})));
+  auto co = Join(std::move(ord), std::move(cust), {Col(1)}, {Col(0)}, 1);
+  auto line = Scan("lineitem",
+                   {l::kOrderKey, l::kExtendedPrice, l::kDiscount},
+                   FilterCmp(l::kShipDate, CmpOp::kGt,
+                             Value(int64_t{19950315})));
+  auto joined = Join(std::move(line), std::move(co), {Col(0)}, {Col(0)}, 5);
+  // cols: 0 l_orderkey, 1 ep, 2 disc, 3 o_orderkey, 4 o_custkey,
+  //       5 o_orderdate, 6 o_shippriority, 7 c_custkey
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Revenue(1, 2)});
+  auto plan = Limit(
+      Sort(Agg(std::move(joined), {Col(0), Col(5), Col(6)}, std::move(aggs)),
+           {{Col(3), true}, {Col(1), false}}),
+      10);
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q4: order priority checking ---
+Result<std::vector<Row>> Q4(Database* db) {
+  auto ord = Scan("orders", {o::kOrderKey, o::kOrderPriority},
+                  FilterBetween(o::kOrderDate, Value(int64_t{19930701}),
+                                Value(DateAddDays(
+                                    DateAddMonths(19930701, 3), -1))));
+  // EXISTS lineitem with commitdate < receiptdate -> semi join.
+  auto late = Scan("lineitem",
+                   {l::kOrderKey, l::kCommitDate, l::kReceiptDate}, nullptr,
+                   Lt(Col(1), Col(2)));
+  auto semi = Join(std::move(ord), std::move(late), {Col(0)}, {Col(0)}, 3,
+                   JoinType::kSemi);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  auto plan = Sort(Agg(std::move(semi), {Col(1)}, std::move(aggs)),
+                   {{Col(0), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q5: local supplier volume ---
+Result<std::vector<Row>> Q5(Database* db) {
+  auto nr = Join(Scan("nation", {na::kNationKey, na::kName, na::kRegionKey}),
+                 Scan("region", {re::kRegionKey},
+                      FilterEq(re::kName, Value("ASIA"))),
+                 {Col(2)}, {Col(0)}, 1);
+  // suppliers in ASIA: s_suppkey, s_nationkey, n_name
+  auto supp =
+      Join(Scan("supplier", {su::kSuppKey, su::kNationKey}), std::move(nr),
+           {Col(1)}, {Col(0)}, 4);
+  auto supp_p = Project(std::move(supp), {Col(0), Col(1), Col(3)});
+  auto ord = Scan("orders", {o::kOrderKey, o::kCustKey},
+                  FilterBetween(o::kOrderDate, Value(int64_t{19940101}),
+                                Value(int64_t{19941231})));
+  auto cust = Scan("customer", {c::kCustKey, c::kNationKey});
+  auto co = Join(std::move(ord), std::move(cust), {Col(1)}, {Col(0)}, 2);
+  // cols: 0 o_orderkey, 1 o_custkey, 2 c_custkey, 3 c_nationkey
+  auto line = Scan("lineitem", {l::kOrderKey, l::kSuppKey, l::kExtendedPrice,
+                                l::kDiscount});
+  auto lco = Join(std::move(line), std::move(co), {Col(0)}, {Col(0)}, 4);
+  // cols: 0 l_ok, 1 l_sk, 2 ep, 3 disc, 4 o_ok, 5 o_ck, 6 c_ck, 7 c_nk
+  // join with ASIA suppliers on (suppkey, c_nationkey == s_nationkey)
+  auto full = Join(std::move(lco), std::move(supp_p), {Col(1), Col(7)},
+                   {Col(0), Col(1)}, 3);
+  // cols: ... 8 s_suppkey, 9 s_nationkey, 10 n_name
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Revenue(2, 3)});
+  auto plan = Sort(Agg(std::move(full), {Col(10)}, std::move(aggs)),
+                   {{Col(1), true}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q6: forecasting revenue change ---
+Result<std::vector<Row>> Q6(Database* db) {
+  FList conj;
+  conj.push_back(FilterBetween(l::kShipDate, Value(int64_t{19940101}),
+                               Value(int64_t{19941231})));
+  conj.push_back(FilterBetween(l::kDiscount, Value(0.05), Value(0.07)));
+  conj.push_back(FilterCmp(l::kQuantity, CmpOp::kLt, Value(24.0)));
+  auto scan = Scan("lineitem", {l::kExtendedPrice, l::kDiscount},
+                   AndF(std::move(conj)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Mul(Col(0), Col(1))});
+  return RunSingle(db, Agg(std::move(scan), {}, std::move(aggs)));
+}
+
+// --- Q7: volume shipping ---
+Result<std::vector<Row>> Q7(Database* db) {
+  auto n_f = [](const char* a, const char* b) {
+    FList disj;
+    disj.push_back(FilterEq(na::kName, Value(a)));
+    disj.push_back(FilterEq(na::kName, Value(b)));
+    return FilterOr(std::move(disj));
+  };
+  auto supp = Join(Scan("supplier", {su::kSuppKey, su::kNationKey}),
+                   Scan("nation", {na::kNationKey, na::kName},
+                        n_f("FRANCE", "GERMANY")),
+                   {Col(1)}, {Col(0)}, 2);
+  auto supp_p = Project(std::move(supp), {Col(0), Col(3)});  // suppkey,n1name
+  auto cust = Join(Scan("customer", {c::kCustKey, c::kNationKey}),
+                   Scan("nation", {na::kNationKey, na::kName},
+                        n_f("FRANCE", "GERMANY")),
+                   {Col(1)}, {Col(0)}, 2);
+  auto cust_p = Project(std::move(cust), {Col(0), Col(3)});  // custkey,n2name
+  auto ord = Scan("orders", {o::kOrderKey, o::kCustKey});
+  auto oc = Join(std::move(ord), std::move(cust_p), {Col(1)}, {Col(0)}, 2);
+  // 0 o_ok, 1 o_ck, 2 c_ck, 3 n2name
+  auto line = Scan("lineitem",
+                   {l::kOrderKey, l::kSuppKey, l::kExtendedPrice, l::kDiscount,
+                    l::kShipDate},
+                   FilterBetween(l::kShipDate, Value(int64_t{19950101}),
+                                 Value(int64_t{19961231})));
+  auto lo = Join(std::move(line), std::move(oc), {Col(0)}, {Col(0)}, 4);
+  // 0 l_ok,1 l_sk,2 ep,3 d,4 ship,5 o_ok,6 o_ck,7 c_ck,8 n2name
+  auto full = Join(std::move(lo), std::move(supp_p), {Col(1)}, {Col(0)}, 2);
+  // ... 9 s_suppkey, 10 n1name
+  // (n1=FRANCE and n2=GERMANY) or (n1=GERMANY and n2=FRANCE)
+  auto filtered = Filter(
+      std::move(full),
+      Or(And(Eq(Col(10), Lit(Value("FRANCE"))),
+             Eq(Col(8), Lit(Value("GERMANY")))),
+         And(Eq(Col(10), Lit(Value("GERMANY"))),
+             Eq(Col(8), Lit(Value("FRANCE"))))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Revenue(2, 3)});
+  auto plan = Sort(Agg(std::move(filtered),
+                       {Col(10), Col(8), Year(Col(4))}, std::move(aggs)),
+                   {{Col(0), false}, {Col(1), false}, {Col(2), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q8: national market share ---
+Result<std::vector<Row>> Q8(Database* db) {
+  auto parts = Scan("part", {p::kPartKey},
+                    FilterEq(p::kType, Value("ECONOMY ANODIZED STEEL")));
+  auto line = Scan("lineitem", {l::kOrderKey, l::kPartKey, l::kSuppKey,
+                                l::kExtendedPrice, l::kDiscount});
+  auto lp = Join(std::move(line), std::move(parts), {Col(1)}, {Col(0)}, 1);
+  auto ord = Scan("orders", {o::kOrderKey, o::kCustKey, o::kOrderDate},
+                  FilterBetween(o::kOrderDate, Value(int64_t{19950101}),
+                                Value(int64_t{19961231})));
+  auto lpo = Join(std::move(lp), std::move(ord), {Col(0)}, {Col(0)}, 3);
+  // 0 l_ok,1 l_pk,2 l_sk,3 ep,4 d,5 p_pk,6 o_ok,7 o_ck,8 o_date
+  auto nr = Join(Scan("nation", {na::kNationKey, na::kRegionKey}),
+                 Scan("region", {re::kRegionKey},
+                      FilterEq(re::kName, Value("AMERICA"))),
+                 {Col(1)}, {Col(0)}, 1);
+  auto cust = Join(Scan("customer", {c::kCustKey, c::kNationKey}),
+                   Project(std::move(nr), {Col(0)}), {Col(1)}, {Col(0)}, 1);
+  auto lpoc =
+      Join(std::move(lpo), Project(std::move(cust), {Col(0)}), {Col(7)},
+           {Col(0)}, 1);
+  // ... 9 c_custkey
+  auto supp_nation = Join(Scan("supplier", {su::kSuppKey, su::kNationKey}),
+                          Scan("nation", {na::kNationKey, na::kName}),
+                          {Col(1)}, {Col(0)}, 2);
+  auto full = Join(std::move(lpoc),
+                   Project(std::move(supp_nation), {Col(0), Col(3)}),
+                   {Col(2)}, {Col(0)}, 2);
+  // ... 10 s_suppkey, 11 nation_name
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum,
+                  CaseWhen({Eq(Col(11), Lit(Value("BRAZIL"))),
+                            Revenue(3, 4), Lit(Value(0.0))})});
+  aggs.push_back({AggKind::kSum, Revenue(3, 4)});
+  auto grouped = Agg(std::move(full), {Year(Col(8))}, std::move(aggs));
+  auto share = Project(std::move(grouped),
+                       {Col(0), Div(Col(1), Col(2))});
+  return RunSingle(db, Sort(std::move(share), {{Col(0), false}}));
+}
+
+// --- Q9: product type profit measure ---
+Result<std::vector<Row>> Q9(Database* db) {
+  auto parts = Scan("part", {p::kPartKey}, nullptr, nullptr);
+  parts = Scan("part", {p::kPartKey, p::kName}, nullptr,
+               Like(Col(1), "%green%"));
+  auto line = Scan("lineitem", {l::kOrderKey, l::kPartKey, l::kSuppKey,
+                                l::kQuantity, l::kExtendedPrice,
+                                l::kDiscount});
+  auto lp = Join(std::move(line), Project(std::move(parts), {Col(0)}),
+                 {Col(1)}, {Col(0)}, 1);
+  // 0 ok,1 pk,2 sk,3 qty,4 ep,5 d,6 p_pk
+  auto lps = Join(std::move(lp),
+                  Scan("partsupp", {ps::kPartKey, ps::kSuppKey,
+                                    ps::kSupplyCost}),
+                  {Col(1), Col(2)}, {Col(0), Col(1)}, 3);
+  // ... 7 ps_pk, 8 ps_sk, 9 ps_cost
+  auto lpso = Join(std::move(lps),
+                   Scan("orders", {o::kOrderKey, o::kOrderDate}), {Col(0)},
+                   {Col(0)}, 2);
+  // ... 10 o_ok, 11 o_date
+  auto supp_nation = Join(Scan("supplier", {su::kSuppKey, su::kNationKey}),
+                          Scan("nation", {na::kNationKey, na::kName}),
+                          {Col(1)}, {Col(0)}, 2);
+  auto full = Join(std::move(lpso),
+                   Project(std::move(supp_nation), {Col(0), Col(3)}),
+                   {Col(2)}, {Col(0)}, 2);
+  // ... 12 s_sk, 13 n_name
+  // profit = ep*(1-d) - ps_cost*qty
+  std::vector<AggSpec> aggs;
+  aggs.push_back(
+      {AggKind::kSum, Sub(Revenue(4, 5), Mul(Col(9), Col(3)))});
+  auto plan = Sort(Agg(std::move(full), {Col(13), Year(Col(11))},
+                       std::move(aggs)),
+                   {{Col(0), false}, {Col(1), true}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q10: returned item reporting ---
+Result<std::vector<Row>> Q10(Database* db) {
+  auto ord = Scan("orders", {o::kOrderKey, o::kCustKey},
+                  FilterBetween(o::kOrderDate, Value(int64_t{19931001}),
+                                Value(DateAddDays(
+                                    DateAddMonths(19931001, 3), -1))));
+  auto line = Scan("lineitem",
+                   {l::kOrderKey, l::kExtendedPrice, l::kDiscount},
+                   FilterEq(l::kReturnFlag, Value("R")));
+  auto lo = Join(std::move(line), std::move(ord), {Col(0)}, {Col(0)}, 2);
+  // 0 l_ok,1 ep,2 d,3 o_ok,4 o_ck
+  auto cust = Scan("customer", {c::kCustKey, c::kName, c::kAcctBal, c::kPhone,
+                                c::kNationKey, c::kAddress, c::kComment});
+  auto loc = Join(std::move(lo), std::move(cust), {Col(4)}, {Col(0)}, 7);
+  // ... 5 c_ck,6 c_name,7 bal,8 phone,9 nk,10 addr,11 comment
+  auto full = Join(std::move(loc),
+                   Scan("nation", {na::kNationKey, na::kName}), {Col(9)},
+                   {Col(0)}, 2);
+  // ... 12 n_nk, 13 n_name
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Revenue(1, 2)});
+  auto plan = Limit(
+      Sort(Agg(std::move(full),
+               {Col(5), Col(6), Col(7), Col(8), Col(13), Col(10), Col(11)},
+               std::move(aggs)),
+           {{Col(7), true}}),
+      20);
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q11: important stock identification ---
+Result<std::vector<Row>> Q11(Database* db) {
+  auto german_ps = [&] {
+    auto supp = Join(Scan("supplier", {su::kSuppKey, su::kNationKey}),
+                     Scan("nation", {na::kNationKey},
+                          FilterEq(na::kName, Value("GERMANY"))),
+                     {Col(1)}, {Col(0)}, 1);
+    return Join(Scan("partsupp", {ps::kPartKey, ps::kSuppKey, ps::kAvailQty,
+                                  ps::kSupplyCost}),
+                Project(std::move(supp), {Col(0)}), {Col(1)}, {Col(0)}, 1);
+  };
+  // Total value (scalar subquery).
+  std::vector<AggSpec> total_aggs;
+  total_aggs.push_back({AggKind::kSum, Mul(Col(3), Col(2))});
+  S2_ASSIGN_OR_RETURN(std::vector<Row> total_rows,
+                      RunSingle(db, Agg(german_ps(), {}, std::move(total_aggs))));
+  double threshold = total_rows.empty() || total_rows[0][0].is_null()
+                         ? 0.0
+                         : total_rows[0][0].as_double() * 0.0001;
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Mul(Col(3), Col(2))});
+  auto grouped = Agg(german_ps(), {Col(0)}, std::move(aggs));
+  auto having = Filter(std::move(grouped),
+                       Gt(Col(1), Lit(Value(threshold))));
+  return RunSingle(db, Sort(std::move(having), {{Col(1), true}}));
+}
+
+// --- Q12: shipping modes and order priority ---
+Result<std::vector<Row>> Q12(Database* db) {
+  FList conj;
+  conj.push_back(FilterIn(l::kShipMode, {Value("MAIL"), Value("SHIP")}));
+  conj.push_back(FilterBetween(l::kReceiptDate, Value(int64_t{19940101}),
+                               Value(int64_t{19941231})));
+  auto line = Scan("lineitem",
+                   {l::kOrderKey, l::kShipMode, l::kShipDate, l::kCommitDate,
+                    l::kReceiptDate},
+                   AndF(std::move(conj)),
+                   And(Lt(Col(3), Col(4)), Lt(Col(2), Col(3))));
+  auto joined = Join(std::move(line),
+                     Scan("orders", {o::kOrderKey, o::kOrderPriority}),
+                     {Col(0)}, {Col(0)}, 2);
+  // ... 5 o_ok, 6 priority
+  auto is_high = Or(Eq(Col(6), Lit(Value("1-URGENT"))),
+                    Eq(Col(6), Lit(Value("2-HIGH"))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum,
+                  CaseWhen({is_high, Lit(Value(int64_t{1})),
+                            Lit(Value(int64_t{0}))})});
+  aggs.push_back({AggKind::kSum,
+                  CaseWhen({Or(Eq(Col(6), Lit(Value("1-URGENT"))),
+                               Eq(Col(6), Lit(Value("2-HIGH")))),
+                            Lit(Value(int64_t{0})),
+                            Lit(Value(int64_t{1}))})});
+  auto plan = Sort(Agg(std::move(joined), {Col(1)}, std::move(aggs)),
+                   {{Col(0), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q13: customer distribution ---
+Result<std::vector<Row>> Q13(Database* db) {
+  auto ord = Scan("orders", {o::kOrderKey, o::kCustKey, o::kComment}, nullptr,
+                  Not(Like(Col(2), "%special%requests%")));
+  auto cust = Scan("customer", {c::kCustKey});
+  auto lj = Join(std::move(cust), std::move(ord), {Col(0)}, {Col(1)}, 3,
+                 JoinType::kLeft);
+  // 0 c_ck, 1 o_ok (null when no order), 2 o_ck, 3 comment
+  std::vector<AggSpec> count_orders;
+  count_orders.push_back({AggKind::kCount, Col(1)});  // non-null orderkeys
+  auto per_customer = Agg(std::move(lj), {Col(0)}, std::move(count_orders));
+  std::vector<AggSpec> dist;
+  dist.push_back({AggKind::kCount, nullptr});
+  auto plan = Sort(Agg(std::move(per_customer), {Col(1)}, std::move(dist)),
+                   {{Col(1), true}, {Col(0), true}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q14: promotion effect ---
+Result<std::vector<Row>> Q14(Database* db) {
+  auto line = Scan("lineitem",
+                   {l::kPartKey, l::kExtendedPrice, l::kDiscount},
+                   FilterBetween(l::kShipDate, Value(int64_t{19950901}),
+                                 Value(DateAddDays(
+                                     DateAddMonths(19950901, 1), -1))));
+  auto joined = Join(std::move(line), Scan("part", {p::kPartKey, p::kType}),
+                     {Col(0)}, {Col(0)}, 2);
+  // ... 3 p_pk, 4 type
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum,
+                  CaseWhen({Like(Col(4), "PROMO%"), Revenue(1, 2),
+                            Lit(Value(0.0))})});
+  aggs.push_back({AggKind::kSum, Revenue(1, 2)});
+  auto grouped = Agg(std::move(joined), {}, std::move(aggs));
+  auto ratio = Project(std::move(grouped),
+                       {Div(Mul(Lit(Value(100.0)), Col(0)), Col(1))});
+  return RunSingle(db, std::move(ratio));
+}
+
+// --- Q15: top supplier ---
+Result<std::vector<Row>> Q15(Database* db) {
+  auto revenue_view = [&] {
+    auto line = Scan("lineitem",
+                     {l::kSuppKey, l::kExtendedPrice, l::kDiscount},
+                     FilterBetween(l::kShipDate, Value(int64_t{19960101}),
+                                   Value(DateAddDays(
+                                       DateAddMonths(19960101, 3), -1))));
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggKind::kSum, Revenue(1, 2)});
+    return Agg(std::move(line), {Col(0)}, std::move(aggs));
+  };
+  S2_ASSIGN_OR_RETURN(std::vector<Row> revenues, RunSingle(db, revenue_view()));
+  double max_rev = 0;
+  for (const Row& row : revenues) {
+    if (!row[1].is_null()) max_rev = std::max(max_rev, row[1].as_double());
+  }
+  std::vector<Row> top;
+  for (const Row& row : revenues) {
+    if (!row[1].is_null() && row[1].as_double() >= max_rev * (1 - 1e-9)) {
+      top.push_back(row);
+    }
+  }
+  auto joined = Join(Scan("supplier", {su::kSuppKey, su::kName, su::kAddress,
+                                       su::kPhone}),
+                     std::make_unique<ValuesOp>(top), {Col(0)}, {Col(0)}, 2);
+  auto plan = Sort(Project(std::move(joined),
+                           {Col(0), Col(1), Col(2), Col(3), Col(5)}),
+                   {{Col(0), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q16: parts/supplier relationship ---
+Result<std::vector<Row>> Q16(Database* db) {
+  FList size_in;
+  for (int64_t s : {49, 14, 23, 45, 19, 3, 36, 9}) {
+    size_in.push_back(FilterEq(p::kSize, Value(s)));
+  }
+  FList conj;
+  conj.push_back(FilterOr(std::move(size_in)));
+  auto parts = Scan("part", {p::kPartKey, p::kBrand, p::kType, p::kSize},
+                    AndF(std::move(conj)),
+                    And(Ne(Col(1), Lit(Value("Brand#45"))),
+                        Not(Like(Col(2), "MEDIUM POLISHED%"))));
+  auto joined =
+      Join(Scan("partsupp", {ps::kPartKey, ps::kSuppKey}), std::move(parts),
+           {Col(0)}, {Col(0)}, 4);
+  // 0 ps_pk, 1 ps_sk, 2 p_pk, 3 brand, 4 type, 5 size
+  auto complainers = Scan("supplier", {su::kSuppKey, su::kComment}, nullptr,
+                          Like(Col(1), "%Customer%Complaints%"));
+  auto clean = Join(std::move(joined), std::move(complainers), {Col(1)},
+                    {Col(0)}, 2, JoinType::kAnti);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCountDistinct, Col(1)});
+  auto plan = Sort(Agg(std::move(clean), {Col(3), Col(4), Col(5)},
+                       std::move(aggs)),
+                   {{Col(3), true}, {Col(0), false}, {Col(1), false},
+                    {Col(2), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q17: small-quantity-order revenue ---
+Result<std::vector<Row>> Q17(Database* db) {
+  FList conj;
+  conj.push_back(FilterEq(p::kBrand, Value("Brand#23")));
+  conj.push_back(FilterEq(p::kContainer, Value("MED BOX")));
+  auto parts = Scan("part", {p::kPartKey}, AndF(std::move(conj)));
+  auto line = Scan("lineitem", {l::kPartKey, l::kQuantity,
+                                l::kExtendedPrice});
+  auto joined = Join(std::move(line), std::move(parts), {Col(0)}, {Col(0)}, 1);
+  S2_ASSIGN_OR_RETURN(std::vector<Row> rows, RunSingle(db, std::move(joined)));
+  // avg quantity per part
+  std::map<int64_t, std::pair<double, int64_t>> avg;
+  for (const Row& row : rows) {
+    auto& [sum, count] = avg[row[0].as_int()];
+    sum += row[1].as_double();
+    ++count;
+  }
+  double total = 0;
+  for (const Row& row : rows) {
+    auto& [sum, count] = avg[row[0].as_int()];
+    if (row[1].as_double() < 0.2 * sum / static_cast<double>(count)) {
+      total += row[2].as_double();
+    }
+  }
+  return std::vector<Row>{{Value(total / 7.0)}};
+}
+
+// --- Q18: large volume customer ---
+Result<std::vector<Row>> Q18(Database* db) {
+  std::vector<AggSpec> qty_sum;
+  qty_sum.push_back({AggKind::kSum, Col(1)});
+  auto per_order = Agg(Scan("lineitem", {l::kOrderKey, l::kQuantity}),
+                       {Col(0)}, std::move(qty_sum));
+  auto big = Filter(std::move(per_order),
+                    Gt(Col(1), Lit(Value(300.0))));
+  auto ord = Scan("orders", {o::kOrderKey, o::kCustKey, o::kOrderDate,
+                             o::kTotalPrice});
+  auto ob = Join(std::move(ord), std::move(big), {Col(0)}, {Col(0)}, 2);
+  // 0 o_ok,1 o_ck,2 date,3 totalprice,4 l_ok,5 sumqty
+  auto full = Join(std::move(ob), Scan("customer", {c::kCustKey, c::kName}),
+                   {Col(1)}, {Col(0)}, 2);
+  // ... 6 c_ck, 7 c_name
+  auto plan = Limit(Sort(Project(std::move(full),
+                                 {Col(7), Col(6), Col(0), Col(2), Col(3),
+                                  Col(5)}),
+                         {{Col(4), true}, {Col(3), false}}),
+                    100);
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q19: discounted revenue ---
+Result<std::vector<Row>> Q19(Database* db) {
+  auto line = Scan("lineitem",
+                   {l::kPartKey, l::kQuantity, l::kExtendedPrice, l::kDiscount,
+                    l::kShipInstruct, l::kShipMode},
+                   FilterIn(l::kShipMode, {Value("AIR"), Value("REG AIR")}),
+                   Eq(Col(4), Lit(Value("DELIVER IN PERSON"))));
+  auto joined = Join(std::move(line),
+                     Scan("part", {p::kPartKey, p::kBrand, p::kContainer,
+                                   p::kSize}),
+                     {Col(0)}, {Col(0)}, 4);
+  // 0 l_pk,1 qty,2 ep,3 d,4 instr,5 mode,6 p_pk,7 brand,8 container,9 size
+  auto branch = [&](const char* brand, std::vector<const char*> containers,
+                    double qlo, double qhi, int64_t size_hi) {
+    ExprPtr in_container = Lit(Value(int64_t{0}));
+    for (const char* cont : containers) {
+      in_container = Or(std::move(in_container),
+                        Eq(Col(8), Lit(Value(cont))));
+    }
+    return And(And(Eq(Col(7), Lit(Value(brand))), std::move(in_container)),
+               And(And(Ge(Col(1), Lit(Value(qlo))),
+                       Le(Col(1), Lit(Value(qhi)))),
+                   And(Ge(Col(9), Lit(Value(int64_t{1}))),
+                       Le(Col(9), Lit(Value(size_hi))))));
+  };
+  auto pred = Or(branch("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"},
+                        1, 11, 5),
+                 Or(branch("Brand#23",
+                           {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10,
+                           20, 10),
+                    branch("Brand#34",
+                           {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30,
+                           15)));
+  auto filtered = Filter(std::move(joined), std::move(pred));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Revenue(2, 3)});
+  return RunSingle(db, Agg(std::move(filtered), {}, std::move(aggs)));
+}
+
+// --- Q20: potential part promotion ---
+Result<std::vector<Row>> Q20(Database* db) {
+  // Sum of 1994 lineitem quantity per (partkey, suppkey).
+  std::vector<AggSpec> qty_sum;
+  qty_sum.push_back({AggKind::kSum, Col(2)});
+  auto shipped = Agg(Scan("lineitem", {l::kPartKey, l::kSuppKey, l::kQuantity},
+                          FilterBetween(l::kShipDate, Value(int64_t{19940101}),
+                                        Value(int64_t{19941231}))),
+                     {Col(0), Col(1)}, std::move(qty_sum));
+  // Forest parts.
+  auto forest = Scan("part", {p::kPartKey, p::kName}, nullptr,
+                     Like(Col(1), "forest%"));
+  auto ps_forest = Join(Scan("partsupp", {ps::kPartKey, ps::kSuppKey,
+                                          ps::kAvailQty}),
+                        Project(std::move(forest), {Col(0)}), {Col(0)},
+                        {Col(0)}, 1);
+  // 0 ps_pk,1 ps_sk,2 avail,3 p_pk
+  auto with_shipped = Join(std::move(ps_forest), std::move(shipped),
+                           {Col(0), Col(1)}, {Col(0), Col(1)}, 3);
+  // ... 4 l_pk, 5 l_sk, 6 sumqty
+  auto qualifying = Filter(std::move(with_shipped),
+                           Gt(Col(2), Mul(Lit(Value(0.5)), Col(6))));
+  // Distinct supplier keys.
+  std::vector<AggSpec> none;
+  auto supp_keys = Agg(std::move(qualifying), {Col(1)}, std::move(none));
+  // Suppliers in CANADA with those keys.
+  auto canada = Join(Scan("supplier", {su::kSuppKey, su::kName, su::kAddress,
+                                       su::kNationKey}),
+                     Scan("nation", {na::kNationKey},
+                          FilterEq(na::kName, Value("CANADA"))),
+                     {Col(3)}, {Col(0)}, 1);
+  auto result = Join(Project(std::move(canada), {Col(0), Col(1), Col(2)}),
+                     std::move(supp_keys), {Col(0)}, {Col(0)}, 1,
+                     JoinType::kSemi);
+  return RunSingle(db,
+                   Sort(Project(std::move(result), {Col(1), Col(2)}),
+                        {{Col(0), false}}));
+}
+
+// --- Q21: suppliers who kept orders waiting ---
+Result<std::vector<Row>> Q21(Database* db) {
+  // Per order: distinct suppliers overall and distinct late suppliers.
+  std::vector<AggSpec> all_supp;
+  all_supp.push_back({AggKind::kCountDistinct, Col(1)});
+  auto suppliers_per_order =
+      Agg(Scan("lineitem", {l::kOrderKey, l::kSuppKey}), {Col(0)},
+          std::move(all_supp));
+  std::vector<AggSpec> late_supp;
+  late_supp.push_back({AggKind::kCountDistinct, Col(1)});
+  auto late_per_order =
+      Agg(Scan("lineitem",
+               {l::kOrderKey, l::kSuppKey, l::kCommitDate, l::kReceiptDate},
+               nullptr, Gt(Col(3), Col(2))),
+          {Col(0)}, std::move(late_supp));
+
+  // Candidate late lineitems from Saudi suppliers on F orders.
+  auto saudi = Join(Scan("supplier", {su::kSuppKey, su::kName,
+                                      su::kNationKey}),
+                    Scan("nation", {na::kNationKey},
+                         FilterEq(na::kName, Value("SAUDI ARABIA"))),
+                    {Col(2)}, {Col(0)}, 1);
+  auto late_lines = Scan(
+      "lineitem", {l::kOrderKey, l::kSuppKey, l::kCommitDate, l::kReceiptDate},
+      nullptr, Gt(Col(3), Col(2)));
+  auto ls = Join(std::move(late_lines),
+                 Project(std::move(saudi), {Col(0), Col(1)}), {Col(1)},
+                 {Col(0)}, 2);
+  // 0 l_ok,1 l_sk,2 commit,3 receipt,4 s_sk,5 s_name
+  auto lso = Join(std::move(ls),
+                  Scan("orders", {o::kOrderKey},
+                       FilterEq(o::kOrderStatus, Value("F"))),
+                  {Col(0)}, {Col(0)}, 1);
+  // ... 6 o_ok
+  auto with_all = Join(std::move(lso), std::move(suppliers_per_order),
+                       {Col(0)}, {Col(0)}, 2);
+  // ... 7 ok, 8 count_all
+  auto with_late = Join(std::move(with_all), std::move(late_per_order),
+                        {Col(0)}, {Col(0)}, 2);
+  // ... 9 ok, 10 count_late
+  // exists other supplier (count_all >= 2), no other late supplier
+  // (count_late == 1).
+  auto filtered = Filter(std::move(with_late),
+                         And(Ge(Col(8), Lit(Value(int64_t{2}))),
+                             Eq(Col(10), Lit(Value(int64_t{1})))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  auto plan = Limit(Sort(Agg(std::move(filtered), {Col(5)}, std::move(aggs)),
+                         {{Col(1), true}, {Col(0), false}}),
+                    100);
+  return RunSingle(db, std::move(plan));
+}
+
+// --- Q22: global sales opportunity ---
+Result<std::vector<Row>> Q22(Database* db) {
+  std::vector<Value> codes = {Value("13"), Value("31"), Value("23"),
+                              Value("29"), Value("30"), Value("18"),
+                              Value("17")};
+  auto code_pred = [&](int phone_col) {
+    ExprPtr pred = Lit(Value(int64_t{0}));
+    for (const Value& code : codes) {
+      pred = Or(std::move(pred),
+                Eq(Substr(Col(phone_col), 1, 2), Lit(code)));
+    }
+    return pred;
+  };
+  // Scalar: avg acctbal of positive-balance customers in those codes.
+  std::vector<AggSpec> avg_aggs;
+  avg_aggs.push_back({AggKind::kAvg, Col(0)});
+  auto avg_plan =
+      Agg(Scan("customer", {c::kAcctBal, c::kPhone},
+               FilterCmp(c::kAcctBal, CmpOp::kGt, Value(0.0)), code_pred(1)),
+          {}, std::move(avg_aggs));
+  S2_ASSIGN_OR_RETURN(std::vector<Row> avg_rows,
+                      RunSingle(db, std::move(avg_plan)));
+  double avg_bal = avg_rows.empty() || avg_rows[0][0].is_null()
+                       ? 0.0
+                       : avg_rows[0][0].as_double();
+
+  auto cust = Scan("customer", {c::kCustKey, c::kPhone, c::kAcctBal}, nullptr,
+                   code_pred(1));
+  auto rich = Filter(std::move(cust), Gt(Col(2), Lit(Value(avg_bal))));
+  auto no_orders = Join(std::move(rich), Scan("orders", {o::kCustKey}),
+                        {Col(0)}, {Col(0)}, 1, JoinType::kAnti);
+  auto with_code = Project(std::move(no_orders),
+                           {Substr(Col(1), 1, 2), Col(2)});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  aggs.push_back({AggKind::kSum, Col(1)});
+  auto plan = Sort(Agg(std::move(with_code), {Col(0)}, std::move(aggs)),
+                   {{Col(0), false}});
+  return RunSingle(db, std::move(plan));
+}
+
+}  // namespace
+
+Result<std::vector<Row>> RunQuery(Database* db, int q) {
+  switch (q) {
+    case 1: return Q1(db);
+    case 2: return Q2(db);
+    case 3: return Q3(db);
+    case 4: return Q4(db);
+    case 5: return Q5(db);
+    case 6: return Q6(db);
+    case 7: return Q7(db);
+    case 8: return Q8(db);
+    case 9: return Q9(db);
+    case 10: return Q10(db);
+    case 11: return Q11(db);
+    case 12: return Q12(db);
+    case 13: return Q13(db);
+    case 14: return Q14(db);
+    case 15: return Q15(db);
+    case 16: return Q16(db);
+    case 17: return Q17(db);
+    case 18: return Q18(db);
+    case 19: return Q19(db);
+    case 20: return Q20(db);
+    case 21: return Q21(db);
+    case 22: return Q22(db);
+    default:
+      return Status::InvalidArgument("no such TPC-H query");
+  }
+}
+
+}  // namespace tpch
+}  // namespace s2

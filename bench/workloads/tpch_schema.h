@@ -1,0 +1,91 @@
+#ifndef S2_BENCH_WORKLOADS_TPCH_SCHEMA_H_
+#define S2_BENCH_WORKLOADS_TPCH_SCHEMA_H_
+
+// Column indices for the TPC-H tables as created by tpch::CreateTables.
+// Query plans reference columns by index; these constants keep the 22
+// hand-built plans readable and mistake-resistant.
+
+namespace s2 {
+namespace tpch {
+
+namespace region {
+enum : int { kRegionKey = 0, kName = 1 };
+}
+namespace nation {
+enum : int { kNationKey = 0, kName = 1, kRegionKey = 2 };
+}
+namespace supplier {
+enum : int {
+  kSuppKey = 0,
+  kName = 1,
+  kAddress = 2,
+  kNationKey = 3,
+  kPhone = 4,
+  kAcctBal = 5,
+  kComment = 6
+};
+}
+namespace customer {
+enum : int {
+  kCustKey = 0,
+  kName = 1,
+  kAddress = 2,
+  kNationKey = 3,
+  kPhone = 4,
+  kAcctBal = 5,
+  kMktSegment = 6,
+  kComment = 7
+};
+}
+namespace part {
+enum : int {
+  kPartKey = 0,
+  kName = 1,
+  kMfgr = 2,
+  kBrand = 3,
+  kType = 4,
+  kSize = 5,
+  kContainer = 6,
+  kRetailPrice = 7
+};
+}
+namespace partsupp {
+enum : int { kPartKey = 0, kSuppKey = 1, kAvailQty = 2, kSupplyCost = 3 };
+}
+namespace orders {
+enum : int {
+  kOrderKey = 0,
+  kCustKey = 1,
+  kOrderStatus = 2,
+  kTotalPrice = 3,
+  kOrderDate = 4,
+  kOrderPriority = 5,
+  kClerk = 6,
+  kShipPriority = 7,
+  kComment = 8
+};
+}
+namespace lineitem {
+enum : int {
+  kOrderKey = 0,
+  kPartKey = 1,
+  kSuppKey = 2,
+  kLineNumber = 3,
+  kQuantity = 4,
+  kExtendedPrice = 5,
+  kDiscount = 6,
+  kTax = 7,
+  kReturnFlag = 8,
+  kLineStatus = 9,
+  kShipDate = 10,
+  kCommitDate = 11,
+  kReceiptDate = 12,
+  kShipInstruct = 13,
+  kShipMode = 14
+};
+}
+
+}  // namespace tpch
+}  // namespace s2
+
+#endif  // S2_BENCH_WORKLOADS_TPCH_SCHEMA_H_

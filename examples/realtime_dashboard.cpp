@@ -1,0 +1,147 @@
+// Real-time analytics over changing data — the paper's motivating HTAP
+// scenario: a stream of order events (high-throughput writes with
+// updates and deduplication) powering a live dashboard (complex
+// aggregations over the same table), with sub-second end-to-end
+// freshness. A read-only workspace isolates the heaviest analytics from
+// the operational workload.
+//
+//   ./build/examples/realtime_dashboard
+
+#include <cstdio>
+#include <thread>
+
+#include "blob/blob_store.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "query/plan.h"
+
+using namespace s2;
+
+#define CHECK_OK(expr)                                        \
+  do {                                                        \
+    ::s2::Status _s = (expr);                                 \
+    if (!_s.ok()) {                                           \
+      fprintf(stderr, "FAILED: %s\n", _s.ToString().c_str()); \
+      return 1;                                               \
+    }                                                         \
+  } while (false)
+
+int main() {
+  std::string dir = *MakeTempDir("s2-dashboard");
+  MemBlobStore blob;  // stands in for S3
+
+  DatabaseOptions options;
+  options.dir = dir;
+  options.blob = &blob;
+  options.num_partitions = 2;
+  options.background_uploads = true;
+  auto db = Database::Open(options);
+  CHECK_OK(db.status());
+
+  // Order events: status transitions arrive as upserts keyed by order id.
+  TableOptions events;
+  events.schema = Schema({{"order_id", DataType::kInt64},
+                          {"status", DataType::kString},
+                          {"region", DataType::kString},
+                          {"amount", DataType::kDouble}});
+  events.unique_key = {0};
+  events.indexes = {{0}, {1}};
+  events.segment_rows = 4096;
+  events.flush_threshold = 4096;
+  CHECK_OK((*db)->CreateTable("orders", events, {0}));
+
+  // --- Ingest: high-throughput upserts with deduplication --------------
+  // ON DUPLICATE KEY UPDATE keeps exactly one row per order while events
+  // stream in out of order — uniqueness enforcement on a columnstore is
+  // one of the unified table's signature features (Section 4.1.2).
+  Rng rng(11);
+  const char* statuses[] = {"created", "paid", "shipped", "delivered"};
+  const char* regions[] = {"emea", "amer", "apac"};
+  int events_ingested = 0;
+  for (int wave = 0; wave < 20; ++wave) {
+    std::vector<Row> batch;
+    for (int i = 0; i < 500; ++i) {
+      int64_t order = static_cast<int64_t>(rng.Uniform(5000));
+      batch.push_back({Value(order), Value(statuses[rng.Uniform(4)]),
+                       Value(regions[order % 3]),
+                       Value(10.0 + rng.NextDouble() * 490.0)});
+    }
+    CHECK_OK((*db)->Insert("orders", batch, DupPolicy::kUpdate));
+    events_ingested += 500;
+  }
+  printf("ingested %d events (deduplicated into at most 5000 live orders)\n",
+         events_ingested);
+
+  // --- Live dashboard query: runs against the same table ---------------
+  auto dashboard = [&](int workspace) -> int {
+    auto result = (*db)->Query(
+        [] {
+          auto scan = std::make_unique<ScanOp>(
+              "orders", std::vector<int>{1, 3});
+          std::vector<AggSpec> aggs;
+          aggs.push_back({AggKind::kCount, nullptr});
+          aggs.push_back({AggKind::kSum, Col(1)});
+          return std::make_unique<AggregateOp>(
+              std::move(scan), std::vector<ExprPtr>{Col(0)}, std::move(aggs));
+        },
+        workspace);
+    if (!result.ok()) {
+      fprintf(stderr, "dashboard: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    // Gather: merge the per-partition partials.
+    std::map<std::string, std::pair<int64_t, double>> merged;
+    for (const Row& row : *result) {
+      auto& slot = merged[row[0].as_string()];
+      slot.first += row[1].as_int();
+      slot.second += row[2].is_null() ? 0 : row[2].as_double();
+    }
+    printf("  %-10s %8s %14s\n", "status", "orders", "revenue");
+    for (auto& [status, slot] : merged) {
+      printf("  %-10s %8lld %14.2f\n", status.c_str(),
+             static_cast<long long>(slot.first), slot.second);
+    }
+    return 0;
+  };
+
+  printf("\ndashboard on the primary workspace (reads the freshest data):\n");
+  if (dashboard(-1) != 0) return 1;
+
+  // --- Isolate analytics on a read-only workspace ----------------------
+  // The workspace provisions from blob storage and streams the log tail;
+  // it never participates in commit acknowledgment, so the operational
+  // side keeps its latency (Section 3.2).
+  CHECK_OK((*db)->Checkpoint());
+  auto workspace = (*db)->CreateWorkspace();
+  CHECK_OK(workspace.status());
+  printf("\nread-only workspace %d provisioned from blob storage\n",
+         *workspace);
+
+  // Keep ingesting while the workspace serves the dashboard.
+  std::vector<Row> more;
+  for (int i = 0; i < 500; ++i) {
+    int64_t order = 100000 + i;
+    more.push_back({Value(order), Value("created"), Value("emea"),
+                    Value(42.0)});
+  }
+  CHECK_OK((*db)->Insert("orders", more));
+  // Give the async apply a moment (paper: < 1 ms replication lag).
+  for (int spin = 0; spin < 1000; ++spin) {
+    if ((*db)->cluster()->WorkspaceLagBytes(*workspace) == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  printf("replication lag after new writes: %llu bytes\n\n",
+         static_cast<unsigned long long>(
+             (*db)->cluster()->WorkspaceLagBytes(*workspace)));
+  printf("dashboard on the isolated workspace:\n");
+  if (dashboard(*workspace) != 0) return 1;
+
+  printf("\nblob store now holds %llu objects (uploaded asynchronously; "
+         "zero blob writes on any commit path)\n",
+         static_cast<unsigned long long>(blob.stats().puts.load()));
+
+  (void)RemoveDirRecursive(dir);
+  printf("realtime_dashboard complete.\n");
+  return 0;
+}

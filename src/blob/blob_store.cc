@@ -1,0 +1,131 @@
+#include "blob/blob_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/env.h"
+
+namespace s2 {
+
+namespace {
+void MaybeSleepUs(uint64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+}  // namespace
+
+// --- MemBlobStore ---
+
+Status MemBlobStore::CheckAvailable() const {
+  if (!available_.load()) {
+    return Status::Unavailable("blob store outage (injected)");
+  }
+  return Status::OK();
+}
+
+Status MemBlobStore::Put(const std::string& key, const std::string& data) {
+  S2_RETURN_NOT_OK(CheckAvailable());
+  MaybeSleepUs(put_latency_us_.load());
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[key] = data;
+  stats_.puts.fetch_add(1);
+  stats_.bytes_uploaded.fetch_add(data.size());
+  return Status::OK();
+}
+
+Result<std::string> MemBlobStore::Get(const std::string& key) {
+  S2_RETURN_NOT_OK(CheckAvailable());
+  MaybeSleepUs(get_latency_us_.load());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no blob object " + key);
+  stats_.gets.fetch_add(1);
+  stats_.bytes_downloaded.fetch_add(it->second.size());
+  return it->second;
+}
+
+Status MemBlobStore::Delete(const std::string& key) {
+  S2_RETURN_NOT_OK(CheckAvailable());
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.deletes.fetch_add(1);
+  objects_.erase(key);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemBlobStore::List(
+    const std::string& prefix) {
+  S2_RETURN_NOT_OK(CheckAvailable());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+bool MemBlobStore::Exists(const std::string& key) {
+  if (!available_.load()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(key) > 0;
+}
+
+// --- LocalDirBlobStore ---
+
+LocalDirBlobStore::LocalDirBlobStore(std::string root)
+    : root_(std::move(root)) {
+  (void)CreateDirs(root_);
+}
+
+std::string LocalDirBlobStore::PathFor(const std::string& key) const {
+  // Keys may contain '/', which maps to subdirectories.
+  return root_ + "/" + key;
+}
+
+Status LocalDirBlobStore::Put(const std::string& key,
+                              const std::string& data) {
+  std::string path = PathFor(key);
+  auto slash = path.find_last_of('/');
+  S2_RETURN_NOT_OK(CreateDirs(path.substr(0, slash)));
+  S2_RETURN_NOT_OK(WriteFileAtomic(path, data));
+  stats_.puts.fetch_add(1);
+  stats_.bytes_uploaded.fetch_add(data.size());
+  return Status::OK();
+}
+
+Result<std::string> LocalDirBlobStore::Get(const std::string& key) {
+  std::string path = PathFor(key);
+  if (!FileExists(path)) return Status::NotFound("no blob object " + key);
+  S2_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  stats_.gets.fetch_add(1);
+  stats_.bytes_downloaded.fetch_add(data.size());
+  return data;
+}
+
+Status LocalDirBlobStore::Delete(const std::string& key) {
+  stats_.deletes.fetch_add(1);
+  return RemoveFile(PathFor(key));
+}
+
+Result<std::vector<std::string>> LocalDirBlobStore::List(
+    const std::string& prefix) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string rel = fs::relative(it->path(), root_, ec).string();
+    if (rel.compare(0, prefix.size(), prefix) == 0) keys.push_back(rel);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool LocalDirBlobStore::Exists(const std::string& key) {
+  return FileExists(PathFor(key));
+}
+
+}  // namespace s2

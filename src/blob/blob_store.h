@@ -1,0 +1,96 @@
+#ifndef S2_BLOB_BLOB_STORE_H_
+#define S2_BLOB_BLOB_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2 {
+
+/// Counters every BlobStore maintains. Benchmarks read these to show the
+/// commit path performs zero blob writes (paper Section 3.1).
+struct BlobStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> bytes_uploaded{0};
+  std::atomic<uint64_t> bytes_downloaded{0};
+};
+
+/// Abstraction of a cloud blob store (S3-like): immutable puts of whole
+/// objects, whole-object gets, listing by prefix. High durability, *lower*
+/// availability — implementations support injected outages so tests can
+/// show steady-state workloads survive blob unavailability when reads stay
+/// within the cached working set.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+
+  virtual Status Put(const std::string& key, const std::string& data) = 0;
+  virtual Result<std::string> Get(const std::string& key) = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+  virtual bool Exists(const std::string& key) = 0;
+
+  const BlobStats& stats() const { return stats_; }
+
+ protected:
+  BlobStats stats_;
+};
+
+/// In-memory blob store with fault and latency injection. The default
+/// backend for tests and benchmarks.
+class MemBlobStore : public BlobStore {
+ public:
+  MemBlobStore() = default;
+
+  Status Put(const std::string& key, const std::string& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  bool Exists(const std::string& key) override;
+
+  /// Simulated outage: every operation returns Unavailable while false.
+  void set_available(bool available) { available_ = available; }
+
+  /// Injected per-operation latency in microseconds (simulates network
+  /// round-trips; lets benches show what synchronous blob commit costs).
+  void set_put_latency_us(uint64_t us) { put_latency_us_ = us; }
+  void set_get_latency_us(uint64_t us) { get_latency_us_ = us; }
+
+ private:
+  Status CheckAvailable() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+  std::atomic<bool> available_{true};
+  std::atomic<uint64_t> put_latency_us_{0};
+  std::atomic<uint64_t> get_latency_us_{0};
+};
+
+/// Blob store backed by a local directory. Keys map to file paths under the
+/// root; used by examples so blob contents are inspectable on disk.
+class LocalDirBlobStore : public BlobStore {
+ public:
+  explicit LocalDirBlobStore(std::string root);
+
+  Status Put(const std::string& key, const std::string& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  bool Exists(const std::string& key) override;
+
+ private:
+  std::string PathFor(const std::string& key) const;
+  std::string root_;
+};
+
+}  // namespace s2
+
+#endif  // S2_BLOB_BLOB_STORE_H_

@@ -1,0 +1,285 @@
+#include "blob/data_file_store.h"
+
+#include <cassert>
+
+#include "common/env.h"
+
+namespace s2 {
+
+DataFileStore::DataFileStore(BlobStore* blob, DataFileStoreOptions options)
+    : blob_(blob), options_(std::move(options)) {
+  if (!options_.local_dir.empty()) (void)CreateDirs(options_.local_dir);
+  if (blob_ != nullptr && options_.background_uploads) {
+    uploader_ = std::thread([this] { UploadLoop(); });
+  }
+}
+
+DataFileStore::~DataFileStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  upload_cv_.notify_all();
+  if (uploader_.joinable()) uploader_.join();
+}
+
+void DataFileStore::SetFileHook(FileHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_hook_ = std::move(hook);
+}
+
+Status DataFileStore::Write(const std::string& name,
+                            std::shared_ptr<const std::string> data) {
+  FileHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = file_hook_;
+  }
+  // Replicate outside the lock: the hook delivers to replica stores.
+  if (hook) hook(name, data);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = files_.try_emplace(name);
+  if (!inserted && it->second.data != nullptr) {
+    return Status::AlreadyExists("data file exists: " + name);
+  }
+  if (!options_.local_dir.empty()) {
+    // Persist to local disk so a process restart recovers the file without
+    // the blob store (the paper's local-storage tier).
+    Status s = WriteFileAtomic(options_.local_dir + "/" + name, *data);
+    if (!s.ok()) {
+      if (inserted) files_.erase(it);
+      return s;
+    }
+  }
+  cached_bytes_ += data->size();
+  it->second.data = std::move(data);
+  it->second.uploaded = false;
+  lru_.push_front(name);
+  it->second.lru_it = lru_.begin();
+  stats_.files_written.fetch_add(1);
+  if (blob_ != nullptr) {
+    upload_queue_.push_back(name);
+    upload_cv_.notify_one();
+  }
+  EvictColdLocked();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const std::string>> DataFileStore::Read(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it != files_.end() && it->second.data != nullptr) {
+      stats_.local_hits.fetch_add(1);
+      TouchLocked(name, &it->second);
+      return it->second.data;
+    }
+  }
+  // Memory miss: try the local disk copy, then blob storage (cold data
+  // pulled on demand), then re-cache.
+  std::string bytes;
+  bool have_bytes = false;
+  if (!options_.local_dir.empty()) {
+    std::string path = options_.local_dir + "/" + name;
+    if (FileExists(path)) {
+      auto local = ReadFileToString(path);
+      if (local.ok()) {
+        bytes = std::move(*local);
+        have_bytes = true;
+        stats_.local_hits.fetch_add(1);
+      }
+    }
+  }
+  if (!have_bytes) {
+    if (blob_ == nullptr) return Status::NotFound("no data file " + name);
+    S2_ASSIGN_OR_RETURN(bytes, blob_->Get(BlobKey(name)));
+    stats_.blob_fetches.fetch_add(1);
+  }
+  auto data = std::make_shared<const std::string>(std::move(bytes));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = files_[name];
+  if (entry.data == nullptr) {
+    entry.data = data;
+    // A disk-recovered file may not have been uploaded before the crash;
+    // re-queue it in that case so blob history stays complete.
+    entry.uploaded = blob_ != nullptr && blob_->Exists(BlobKey(name));
+    if (blob_ != nullptr && !entry.uploaded) {
+      upload_queue_.push_back(name);
+      upload_cv_.notify_one();
+    }
+    cached_bytes_ += data->size();
+    lru_.push_front(name);
+    entry.lru_it = lru_.begin();
+    EvictColdLocked();
+  }
+  return entry.data != nullptr ? entry.data : data;
+}
+
+bool DataFileStore::IsLocal(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it != files_.end() && it->second.data != nullptr) return true;
+  }
+  return !options_.local_dir.empty() &&
+         FileExists(options_.local_dir + "/" + name);
+}
+
+Status DataFileStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no data file " + name);
+  if (it->second.data != nullptr) {
+    cached_bytes_ -= it->second.data->size();
+    lru_.erase(it->second.lru_it);
+  }
+  files_.erase(it);
+  if (!options_.local_dir.empty()) {
+    std::string path = options_.local_dir + "/" + name;
+    if (FileExists(path)) (void)RemoveFile(path);
+  }
+  // Blob object intentionally retained: history for PITR.
+  return Status::OK();
+}
+
+Status DataFileStore::DrainUploads() {
+  if (blob_ == nullptr) return Status::OK();
+  if (!options_.background_uploads) {
+    // Synchronous drain for deterministic tests.
+    for (;;) {
+      std::string name;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (upload_queue_.empty()) {
+          last_upload_error_ = Status::OK();
+          return Status::OK();
+        }
+        name = upload_queue_.front();
+        upload_queue_.pop_front();
+      }
+      Status s = UploadOne(name);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        upload_queue_.push_front(name);
+        last_upload_error_ = s;
+        return s;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] {
+    return upload_queue_.empty() || !last_upload_error_.ok();
+  });
+  Status s = last_upload_error_;
+  last_upload_error_ = Status::OK();
+  return s;
+}
+
+size_t DataFileStore::PendingUploads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, entry] : files_) {
+    if (!entry.uploaded) ++n;
+  }
+  return n;
+}
+
+void DataFileStore::EvictCold() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictColdLocked();
+}
+
+void DataFileStore::ForEachFile(
+    const std::function<void(const std::string&,
+                             std::shared_ptr<const std::string>)>& cb) const {
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+      resident;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : files_) {
+      if (entry.data != nullptr) resident.emplace_back(name, entry.data);
+    }
+  }
+  for (auto& [name, data] : resident) cb(name, data);
+}
+
+void DataFileStore::UploadLoop() {
+  for (;;) {
+    std::string name;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      upload_cv_.wait(lock,
+                      [this] { return shutdown_ || !upload_queue_.empty(); });
+      if (upload_queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      name = upload_queue_.front();
+      upload_queue_.pop_front();
+    }
+    Status s = UploadOne(name);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!s.ok()) {
+      // Requeue and back off via cv wait on next loop; record the error for
+      // DrainUploads observers.
+      upload_queue_.push_back(name);
+      last_upload_error_ = s;
+      drain_cv_.notify_all();
+      if (shutdown_) return;
+    } else if (upload_queue_.empty()) {
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+Status DataFileStore::UploadOne(const std::string& name) {
+  std::shared_ptr<const std::string> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end() || it->second.uploaded) return Status::OK();
+    data = it->second.data;
+  }
+  assert(data != nullptr);
+  S2_RETURN_NOT_OK(blob_->Put(BlobKey(name), *data));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    it->second.uploaded = true;
+    stats_.files_uploaded.fetch_add(1);
+  }
+  EvictColdLocked();
+  return Status::OK();
+}
+
+void DataFileStore::TouchLocked(const std::string& name, Entry* entry) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(name);
+  entry->lru_it = lru_.begin();
+}
+
+void DataFileStore::EvictColdLocked() {
+  if (blob_ == nullptr) return;  // nothing backs the data; never evict
+  auto it = lru_.end();
+  while (cached_bytes_ > options_.local_cache_bytes && it != lru_.begin()) {
+    --it;
+    auto fit = files_.find(*it);
+    assert(fit != files_.end());
+    if (!fit->second.uploaded || fit->second.data == nullptr) {
+      continue;  // pinned until uploaded
+    }
+    cached_bytes_ -= fit->second.data->size();
+    fit->second.data = nullptr;
+    if (!options_.local_dir.empty()) {
+      // Cold + uploaded: drop the local-disk copy too; it can always be
+      // re-fetched from blob storage.
+      std::string path = options_.local_dir + "/" + fit->first;
+      if (FileExists(path)) (void)RemoveFile(path);
+    }
+    stats_.files_evicted.fetch_add(1);
+    it = lru_.erase(it);
+  }
+}
+
+}  // namespace s2

@@ -1,0 +1,147 @@
+#ifndef S2_BLOB_DATA_FILE_STORE_H_
+#define S2_BLOB_DATA_FILE_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blob/blob_store.h"
+#include "common/result.h"
+
+namespace s2 {
+
+struct DataFileStoreOptions {
+  /// Key prefix within the blob store (e.g. "db1/part3/files/").
+  std::string blob_prefix;
+  /// When non-empty, files are also persisted to this local directory
+  /// ("local disk"), so a process restart recovers them without the blob
+  /// store. Evicting a cold file removes its local copy too.
+  std::string local_dir;
+  /// Max bytes of file content kept in the local cache. Files that are not
+  /// yet uploaded are pinned and never evicted regardless of this limit.
+  size_t local_cache_bytes = 256ull << 20;
+  /// When false, uploads only happen via DrainUploads() (deterministic
+  /// tests); when true a background thread uploads as quickly as possible.
+  bool background_uploads = true;
+};
+
+struct DataFileStats {
+  std::atomic<uint64_t> local_hits{0};
+  std::atomic<uint64_t> blob_fetches{0};
+  std::atomic<uint64_t> files_written{0};
+  std::atomic<uint64_t> files_uploaded{0};
+  std::atomic<uint64_t> files_evicted{0};
+};
+
+/// Manages the immutable columnstore data files of one partition across the
+/// storage hierarchy: local cache ("local disk") and blob storage.
+///
+/// Paper Section 3.1 semantics:
+///  - Write() stores the file locally and schedules an asynchronous upload;
+///    the caller's commit never waits for the blob store.
+///  - Read() serves from local cache; on miss it fetches from blob storage
+///    on demand and re-caches.
+///  - Cold files (uploaded + least recently used) are evicted from local
+///    storage when the cache exceeds its budget, letting the partition hold
+///    more data than fits on local disk.
+///  - Remove() drops a file from local storage only; blob history is
+///    retained, enabling point-in-time restore without explicit backups.
+///
+/// Works without a blob store too (`blob == nullptr`): then it behaves like
+/// plain local storage and never evicts.
+class DataFileStore {
+ public:
+  DataFileStore(BlobStore* blob, DataFileStoreOptions options);
+  ~DataFileStore();
+
+  DataFileStore(const DataFileStore&) = delete;
+  DataFileStore& operator=(const DataFileStore&) = delete;
+
+  /// Adds a newly created immutable file. Local-only until the async upload
+  /// completes.
+  Status Write(const std::string& name,
+               std::shared_ptr<const std::string> data);
+
+  /// Hook invoked on every Write: the cluster uses it to replicate data
+  /// files to HA replicas as soon as they are written ("each file is
+  /// replicated as soon as it's written on the master without need to wait
+  /// for the transaction to commit", paper Section 3).
+  using FileHook =
+      std::function<void(const std::string&, std::shared_ptr<const std::string>)>;
+  void SetFileHook(FileHook hook);
+
+  /// Returns the file contents from local cache or blob storage.
+  Result<std::shared_ptr<const std::string>> Read(const std::string& name);
+
+  /// Whether the file is currently resident in local cache.
+  bool IsLocal(const std::string& name) const;
+
+  /// Drops the local copy (segment merged away / table dropped). The blob
+  /// object is kept as history.
+  Status Remove(const std::string& name);
+
+  /// Blocks until every pending upload has been attempted once; returns the
+  /// first upload error if any (files stay pinned and queued on failure).
+  Status DrainUploads();
+
+  /// Number of files written but not yet uploaded.
+  size_t PendingUploads() const;
+
+  /// Evicts uploaded cold files until the cache is within its budget. Runs
+  /// automatically after writes/uploads; exposed for tests.
+  void EvictCold();
+
+  /// Iterates every locally resident file (used to seed a new replica when
+  /// no blob store exists to bootstrap from).
+  void ForEachFile(
+      const std::function<void(const std::string&,
+                               std::shared_ptr<const std::string>)>& cb) const;
+
+  const DataFileStats& stats() const { return stats_; }
+  BlobStore* blob() const { return blob_; }
+  const std::string& blob_prefix() const { return options_.blob_prefix; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> data;  // null when evicted
+    bool uploaded = false;
+    std::list<std::string>::iterator lru_it;  // valid when data != null
+  };
+
+  std::string BlobKey(const std::string& name) const {
+    return options_.blob_prefix + name;
+  }
+  void UploadLoop();
+  Status UploadOne(const std::string& name);
+  void TouchLocked(const std::string& name, Entry* entry);
+  void EvictColdLocked();
+
+  BlobStore* blob_;  // not owned; may be null
+  DataFileStoreOptions options_;
+  DataFileStats stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable upload_cv_;
+  std::condition_variable drain_cv_;
+  std::unordered_map<std::string, Entry> files_;
+  std::list<std::string> lru_;  // front = most recent
+  std::deque<std::string> upload_queue_;
+  size_t cached_bytes_ = 0;
+  FileHook file_hook_;
+  bool shutdown_ = false;
+  Status last_upload_error_;
+  std::thread uploader_;
+};
+
+}  // namespace s2
+
+#endif  // S2_BLOB_DATA_FILE_STORE_H_

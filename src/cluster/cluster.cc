@@ -1,0 +1,378 @@
+#include "cluster/cluster.h"
+
+#include "common/env.h"
+#include "common/hash.h"
+
+namespace s2 {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  if (options_.num_nodes < 1) options_.num_nodes = 1;
+  if (options_.num_partitions < 1) options_.num_partitions = 1;
+}
+
+Cluster::~Cluster() = default;
+
+Status Cluster::Start() {
+  node_alive_.assign(options_.num_nodes, true);
+  sites_.resize(options_.num_partitions);
+  masters_.resize(options_.num_partitions);
+  master_node_.resize(options_.num_partitions);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    PartitionSite& site = sites_[p];
+    site.master_node = p % options_.num_nodes;
+    PartitionOptions popts;
+    popts.dir = options_.dir + "/part" + std::to_string(p);
+    popts.blob = options_.blob;
+    popts.blob_prefix = PartitionPrefix(p);
+    popts.cache_bytes = options_.cache_bytes;
+    popts.auto_maintain = options_.auto_maintain;
+    popts.background_uploads = options_.background_uploads;
+    popts.sync_blob_commit = options_.sync_blob_commit;
+    site.master = std::make_unique<Partition>(popts);
+    S2_RETURN_NOT_OK(site.master->Init());
+    masters_[p] = site.master.get();
+    master_node_[p] = site.master_node;
+
+    // Multicast data files to every attached replica (HA + workspaces).
+    site.master->files()->SetFileHook(
+        [this, p](const std::string& name,
+                  std::shared_ptr<const std::string> data) {
+          std::vector<ReplicaPartition*> receivers;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (auto& replica : sites_[p].replicas) {
+              receivers.push_back(replica.get());
+            }
+            for (auto& ws : workspaces_) {
+              receivers.push_back(ws.replicas[p].get());
+            }
+          }
+          for (ReplicaPartition* r : receivers) r->OnDataFile(name, data);
+        });
+
+    for (int r = 0; r < options_.ha_replicas; ++r) {
+      int node = (p + 1 + r) % options_.num_nodes;
+      S2_RETURN_NOT_OK(ProvisionReplica(p, node));
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::ProvisionReplica(int partition_id, int node_id) {
+  ReplicaOptions ropts;
+  ropts.dir = options_.dir + "/replica" + std::to_string(next_replica_dir_++);
+  ropts.blob = options_.blob;
+  ropts.blob_prefix = PartitionPrefix(partition_id);
+  ropts.ack_commits = true;
+  auto replica = std::make_unique<ReplicaPartition>(ropts);
+  S2_RETURN_NOT_OK(replica->Init());
+  S2_RETURN_NOT_OK(WireReplica(partition_id, replica.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[partition_id].replicas.push_back(std::move(replica));
+  sites_[partition_id].replica_nodes.push_back(node_id);
+  return Status::OK();
+}
+
+Status Cluster::WireReplica(int partition_id, ReplicaPartition* replica) {
+  return masters_[partition_id]->log()->AddSink(replica);
+}
+
+Status Cluster::CreateTable(const std::string& name,
+                            const TableOptions& options,
+                            std::vector<int> shard_key) {
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    S2_RETURN_NOT_OK(masters_[p]->CreateTable(name, options).status());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_keys_[name] = std::move(shard_key);
+  return Status::OK();
+}
+
+Result<int> Cluster::PartitionForRow(const std::string& table,
+                                     const Row& row) const {
+  std::vector<int> shard_key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shard_keys_.find(table);
+    if (it == shard_keys_.end()) {
+      return Status::NotFound("no sharded table " + table);
+    }
+    shard_key = it->second;
+  }
+  Row values;
+  if (shard_key.empty()) {
+    values = row;
+  } else {
+    for (int c : shard_key) values.push_back(row[c]);
+  }
+  return PartitionForKey(values);
+}
+
+int Cluster::PartitionForKey(const Row& shard_values) const {
+  uint64_t h = Hash64(EncodeKey(shard_values));
+  return static_cast<int>(h % static_cast<uint64_t>(options_.num_partitions));
+}
+
+// --- Txn ---
+
+TxnManager::TxnHandle Cluster::Txn::On(int partition_id) {
+  auto it = handles_.find(partition_id);
+  if (it != handles_.end()) return it->second;
+  TxnManager::TxnHandle h = cluster_->partition(partition_id)->Begin();
+  handles_[partition_id] = h;
+  return h;
+}
+
+UnifiedTable* Cluster::Txn::table(int partition_id, const std::string& name) {
+  auto t = cluster_->partition(partition_id)->GetTable(name);
+  return t.ok() ? *t : nullptr;
+}
+
+Status Cluster::Txn::Commit() {
+  if (done_) return Status::OK();
+  done_ = true;
+  Status first_error;
+  for (auto& [pid, handle] : handles_) {
+    Status s = cluster_->partition(pid)->Commit(handle.id);
+    if (!s.ok() && first_error.ok()) first_error = s;
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(cluster_->mu_);
+      ++cluster_->sites_[pid].committed_txns;
+    }
+  }
+  return first_error;
+}
+
+void Cluster::Txn::Abort() {
+  if (done_) return;
+  done_ = true;
+  for (auto& [pid, handle] : handles_) {
+    cluster_->partition(pid)->Abort(handle.id);
+  }
+}
+
+Status Cluster::InsertRows(const std::string& table,
+                           const std::vector<Row>& rows, DupPolicy policy) {
+  // Group rows by target partition.
+  std::map<int, std::vector<Row>> routed;
+  for (const Row& row : rows) {
+    S2_ASSIGN_OR_RETURN(int pid, PartitionForRow(table, row));
+    routed[pid].push_back(row);
+  }
+  Txn txn = BeginTxn();
+  for (auto& [pid, partition_rows] : routed) {
+    TxnManager::TxnHandle h = txn.On(pid);
+    UnifiedTable* t = txn.table(pid, table);
+    if (t == nullptr) {
+      txn.Abort();
+      return Status::NotFound("no table " + table);
+    }
+    auto r = t->InsertRows(h.id, h.read_ts, partition_rows, policy);
+    if (!r.ok()) {
+      txn.Abort();
+      return r.status();
+    }
+  }
+  return txn.Commit();
+}
+
+Result<std::vector<Row>> Cluster::ScatterQuery(
+    const std::function<PlanPtr()>& factory, int workspace_id) {
+  std::vector<Row> out;
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    Partition* partition = workspace_id < 0
+                               ? masters_[p]
+                               : WorkspacePartition(workspace_id, p);
+    if (partition == nullptr) {
+      return Status::NotFound("no such workspace partition");
+    }
+    QueryContext ctx;
+    ctx.partition = partition;
+    TxnManager::TxnHandle h = partition->Begin();
+    ctx.txn = h.id;
+    ctx.read_ts = h.read_ts;
+    PlanPtr plan = factory();
+    auto rows = RunPlan(plan.get(), &ctx);
+    partition->EndRead(h.id);
+    S2_RETURN_NOT_OK(rows.status());
+    for (Row& row : *rows) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// --- High availability ---
+
+void Cluster::KillNode(int node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node_alive_[node_id] = false;
+  // Replicas hosted on the dead node stop acking.
+  for (PartitionSite& site : sites_) {
+    for (size_t r = 0; r < site.replicas.size(); ++r) {
+      if (site.replica_nodes[r] == node_id) site.replicas[r]->down = true;
+    }
+  }
+}
+
+bool Cluster::NodeAlive(int node_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_alive_[node_id];
+}
+
+Result<int> Cluster::RunFailureDetector() {
+  int promoted = 0;
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    bool master_dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      master_dead = !node_alive_[master_node_[p]];
+    }
+    if (!master_dead) continue;
+    // Promote the first replica on a live node.
+    std::unique_ptr<ReplicaPartition> chosen;
+    int chosen_node = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PartitionSite& site = sites_[p];
+      for (size_t r = 0; r < site.replicas.size(); ++r) {
+        if (node_alive_[site.replica_nodes[r]]) {
+          chosen = std::move(site.replicas[r]);
+          chosen_node = site.replica_nodes[r];
+          site.replicas.erase(site.replicas.begin() + static_cast<long>(r));
+          site.replica_nodes.erase(site.replica_nodes.begin() +
+                                   static_cast<long>(r));
+          break;
+        }
+      }
+      // Remaining replicas of this partition are stale relative to the new
+      // master's log; drop them (auto-healing re-provisions below).
+      site.replicas.clear();
+      site.replica_nodes.clear();
+    }
+    if (chosen == nullptr) {
+      return Status::Unavailable(
+          "partition lost: no replica on a live node (all copies gone)");
+    }
+    S2_ASSIGN_OR_RETURN(Partition * new_master, chosen->Promote());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PartitionSite& site = sites_[p];
+      site.master.reset();  // old master's process is gone
+      site.promoted_holder = std::move(chosen);
+      masters_[p] = new_master;
+      master_node_[p] = chosen_node;
+    }
+    // Re-wire the file hook to the new master and heal replication.
+    new_master->files()->SetFileHook(
+        [this, p](const std::string& name,
+                  std::shared_ptr<const std::string> data) {
+          std::vector<ReplicaPartition*> receivers;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (auto& replica : sites_[p].replicas) {
+              receivers.push_back(replica.get());
+            }
+            for (auto& ws : workspaces_) {
+              receivers.push_back(ws.replicas[p].get());
+            }
+          }
+          for (ReplicaPartition* r : receivers) r->OnDataFile(name, data);
+        });
+    for (int r = 0; r < options_.ha_replicas; ++r) {
+      int node = -1;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (int candidate = 0; candidate < options_.num_nodes; ++candidate) {
+          int n = (chosen_node + 1 + r + candidate) % options_.num_nodes;
+          if (node_alive_[n] && n != chosen_node) {
+            node = n;
+            break;
+          }
+        }
+      }
+      if (node >= 0) S2_RETURN_NOT_OK(ProvisionReplica(p, node));
+    }
+    ++promoted;
+  }
+  return promoted;
+}
+
+// --- Separated storage & workspaces ---
+
+Status Cluster::UploadAllToBlob() {
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    S2_RETURN_NOT_OK(masters_[p]->WriteSnapshot());
+  }
+  return Status::OK();
+}
+
+Result<int> Cluster::CreateWorkspace() {
+  WorkspaceState ws;
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    ReplicaOptions ropts;
+    ropts.dir =
+        options_.dir + "/workspace" + std::to_string(next_replica_dir_++);
+    ropts.blob = options_.blob;
+    ropts.blob_prefix = PartitionPrefix(p);
+    ropts.ack_commits = false;  // workspaces never gate commits
+    auto replica = std::make_unique<ReplicaPartition>(ropts);
+    S2_RETURN_NOT_OK(replica->Init());
+    // With a blob store the replica bootstrapped its data files from blob;
+    // without one ("no blob store" configurations), seed them from the
+    // master's local store before streaming the log.
+    if (options_.blob == nullptr) {
+      ReplicaPartition* raw = replica.get();
+      masters_[p]->files()->ForEachFile(
+          [raw](const std::string& name,
+                std::shared_ptr<const std::string> data) {
+            raw->OnDataFile(name, std::move(data));
+          });
+    }
+    S2_RETURN_NOT_OK(WireReplica(p, replica.get()));
+    ws.replicas.push_back(std::move(replica));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  workspaces_.push_back(std::move(ws));
+  return static_cast<int>(workspaces_.size() - 1);
+}
+
+Partition* Cluster::WorkspacePartition(int workspace_id, int partition_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workspace_id < 0 ||
+      workspace_id >= static_cast<int>(workspaces_.size())) {
+    return nullptr;
+  }
+  return workspaces_[workspace_id].replicas[partition_id]->partition();
+}
+
+uint64_t Cluster::WorkspaceLagBytes(int workspace_id) const {
+  uint64_t max_lag = 0;
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    Lsn durable;
+    Lsn applied;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      durable = masters_[p]->log()->durable_lsn();
+      applied = workspaces_[workspace_id].replicas[p]->applied_lsn();
+    }
+    if (durable > applied) max_lag = std::max(max_lag, durable - applied);
+  }
+  return max_lag;
+}
+
+Result<std::unique_ptr<Partition>> Cluster::RestorePartitionToLsn(
+    int partition_id, Lsn lsn, const std::string& dir) {
+  if (options_.blob == nullptr) {
+    return Status::InvalidArgument("PITR requires a blob store");
+  }
+  return RestorePartitionFromBlob(options_.blob,
+                                  PartitionPrefix(partition_id), dir, lsn);
+}
+
+Status Cluster::Maintain() {
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    S2_RETURN_NOT_OK(masters_[p]->Maintain());
+  }
+  return Status::OK();
+}
+
+}  // namespace s2

@@ -1,0 +1,63 @@
+#ifndef S2_COLUMNSTORE_MERGER_H_
+#define S2_COLUMNSTORE_MERGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "columnstore/segment.h"
+
+namespace s2 {
+
+/// One input to a merge: a segment plus its current delete bit vector
+/// (null == nothing deleted). Deleted rows are dropped during the merge —
+/// this is where delete bit-vector space is reclaimed.
+struct MergeInput {
+  std::shared_ptr<Segment> segment;
+  std::shared_ptr<const BitVector> deletes;
+};
+
+/// Where each input row landed: output segment index and row offset, or
+/// dropped (deleted). Merges change physical row offsets; the storage layer
+/// uses this mapping to (a) remap delete bits set by move transactions that
+/// scanned before the merge committed (paper Section 4.2) and (b) rebuild
+/// global secondary-index hash tables for the new segments (Section 4.1).
+struct RowMapping {
+  static constexpr uint32_t kDropped = ~uint32_t{0};
+  // per input: per row: (out_segment, out_row); kDropped when deleted.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> where;
+};
+
+/// K-way merge of sorted segments into new sorted segments of bounded size.
+/// With an empty sort key the inputs are concatenated in order (insertion
+/// order preserved), which is also what flushing multiple rowstore chunks
+/// uses.
+class SegmentMerger {
+ public:
+  /// `sort_cols` index into the schema; empty means no sort key.
+  SegmentMerger(Schema schema, std::vector<int> sort_cols,
+                uint32_t max_rows_per_segment);
+
+  /// Runs the merge. Returns the serialized new segment files in order;
+  /// fills *mapping when non-null.
+  Result<std::vector<std::string>> Merge(const std::vector<MergeInput>& inputs,
+                                         RowMapping* mapping) const;
+
+  /// Like Merge but returns the merged rows chunked per output segment,
+  /// letting the caller build files with extra aux blocks (inverted
+  /// indexes).
+  Result<std::vector<std::vector<Row>>> MergeRows(
+      const std::vector<MergeInput>& inputs, RowMapping* mapping) const;
+
+ private:
+  Schema schema_;
+  std::vector<int> sort_cols_;
+  uint32_t max_rows_;
+};
+
+}  // namespace s2
+
+#endif  // S2_COLUMNSTORE_MERGER_H_

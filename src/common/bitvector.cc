@@ -1,0 +1,55 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/coding.h"
+
+namespace s2 {
+
+uint32_t BitVector::Count() const {
+  uint32_t n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool BitVector::NoneSet() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void BitVector::Resize(uint32_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, 0);
+  // Clear any bits past the new logical end in the last word.
+  if (num_bits & 63) {
+    words_.back() &= (uint64_t{1} << (num_bits & 63)) - 1;
+  }
+}
+
+void BitVector::Union(const BitVector& other) {
+  for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void BitVector::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, num_bits_);
+  dst->append(reinterpret_cast<const char*>(words_.data()),
+              words_.size() * sizeof(uint64_t));
+}
+
+Result<BitVector> BitVector::DecodeFrom(Slice* input) {
+  S2_ASSIGN_OR_RETURN(uint64_t num_bits, GetVarint64(input));
+  BitVector bv(static_cast<uint32_t>(num_bits));
+  size_t byte_len = bv.words_.size() * sizeof(uint64_t);
+  if (input->size() < byte_len) {
+    return Status::Corruption("truncated bit vector");
+  }
+  memcpy(bv.words_.data(), input->data(), byte_len);
+  input->RemovePrefix(byte_len);
+  return bv;
+}
+
+}  // namespace s2

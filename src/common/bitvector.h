@@ -1,0 +1,62 @@
+#ifndef S2_COMMON_BITVECTOR_H_
+#define S2_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace s2 {
+
+/// Dense bit vector. Segment metadata stores one of these per segment to
+/// mark deleted rows (the paper's alternative to LSM tombstones, Section 4).
+/// Copy-on-write friendly: copies are cheap relative to segment sizes and a
+/// new version is installed per metadata update.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(uint32_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  uint32_t size() const { return num_bits_; }
+
+  bool Get(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(uint32_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(uint32_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Number of set bits.
+  uint32_t Count() const;
+
+  bool AllSet() const { return Count() == num_bits_; }
+  bool NoneSet() const;
+
+  /// Appends `n` zero bits.
+  void Resize(uint32_t num_bits);
+
+  /// this |= other. Sizes must match.
+  void Union(const BitVector& other);
+
+  /// Serialized form: varint bit count followed by raw words.
+  void EncodeTo(std::string* dst) const;
+  static Result<BitVector> DecodeFrom(Slice* input);
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Direct word access for vectorized consumers (exec filter kernels).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace s2
+
+#endif  // S2_COMMON_BITVECTOR_H_

@@ -1,0 +1,49 @@
+#include "common/coding.h"
+
+namespace s2 {
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<const char*>(buf), n);
+}
+
+Result<uint64_t> GetVarint64(Slice* input) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (input->empty()) {
+      return Status::Corruption("truncated varint");
+    }
+    unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      return result;
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+Result<Slice> GetLengthPrefixed(Slice* input) {
+  S2_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(input));
+  if (input->size() < len) {
+    return Status::Corruption("truncated length-prefixed slice");
+  }
+  Slice result(input->data(), len);
+  input->RemovePrefix(len);
+  return result;
+}
+
+}  // namespace s2

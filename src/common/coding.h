@@ -1,0 +1,61 @@
+#ifndef S2_COMMON_CODING_H_
+#define S2_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace s2 {
+
+// Little-endian fixed-width and varint byte (de)serialization used by the
+// log, segment file, and index file formats. All hosts we target are
+// little-endian; encodes are plain memcpy.
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Appends v in LEB128 varint form (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint64 from the front of *input, advancing it. Returns an
+/// error on truncated input.
+Result<uint64_t> GetVarint64(Slice* input);
+
+/// Appends a varint length prefix followed by the bytes of `value`.
+void PutLengthPrefixed(std::string* dst, Slice value);
+
+/// Parses a length-prefixed slice from the front of *input, advancing it.
+/// The returned Slice aliases the input buffer.
+Result<Slice> GetLengthPrefixed(Slice* input);
+
+/// Zig-zag maps signed ints to unsigned so small magnitudes stay small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace s2
+
+#endif  // S2_COMMON_CODING_H_

@@ -1,0 +1,32 @@
+#include "common/crc32.h"
+
+namespace s2 {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  constexpr Crc32Table() : t() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kTable;
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n, uint32_t seed) {
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.t[(c ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace s2

@@ -1,0 +1,20 @@
+#ifndef S2_COMMON_CRC32_H_
+#define S2_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace s2 {
+
+/// CRC-32 (IEEE polynomial, table-driven). Guards log pages and snapshot
+/// files against torn writes and corruption.
+uint32_t Crc32(const char* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(Slice s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace s2
+
+#endif  // S2_COMMON_CRC32_H_

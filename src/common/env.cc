@@ -1,0 +1,131 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace s2 {
+
+namespace fs = std::filesystem;
+
+namespace {
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + strerror(errno));
+}
+}  // namespace
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("create_directories " + path + ": " +
+                                 ec.message());
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("open " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  return Status::OK();
+}
+
+Status AppendToFile(const std::string& path, const std::string& data,
+                    bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("write " + path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync " + path);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read " + path);
+  return data;
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IOError("remove " + path +
+                           (ec ? ": " + ec.message() : ": not found"));
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  return size;
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) return Status::IOError("temp_directory_path: " + ec.message());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fs::path dir =
+        base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter.fetch_add(1)));
+    if (fs::create_directory(dir, ec) && !ec) return dir.string();
+  }
+  return Status::IOError("could not create temp dir with prefix " + prefix);
+}
+
+}  // namespace s2

@@ -1,0 +1,43 @@
+#ifndef S2_COMMON_ENV_H_
+#define S2_COMMON_ENV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2 {
+
+// Thin filesystem helpers (std::filesystem wrapped in Status). All local
+// persistence — log files, snapshot files, segment data files, the blob
+// store's local-directory backend — goes through these.
+
+/// Creates the directory and any missing parents.
+Status CreateDirs(const std::string& path);
+
+/// Writes `data` to `path` via a temp file + rename (atomic on POSIX).
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Appends `data` to `path`, creating it if needed. When `sync` is true the
+/// write is fsync'd before returning.
+Status AppendToFile(const std::string& path, const std::string& data,
+                    bool sync = false);
+
+/// Reads the whole file.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Lists regular-file names (not paths) directly under `dir`, sorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+Status RemoveFile(const std::string& path);
+Status RemoveDirRecursive(const std::string& path);
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Creates a fresh unique directory under the system temp dir. Tests and
+/// examples use this for scratch space.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+}  // namespace s2
+
+#endif  // S2_COMMON_ENV_H_

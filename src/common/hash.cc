@@ -1,0 +1,57 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace s2 {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kPrime3 = 0x165667b19e3779f9ULL;
+
+inline uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  uint64_t h = seed + kPrime3 + n;
+  const char* p = data;
+  const char* end = data + n;
+  while (p + 8 <= end) {
+    uint64_t k = Load64(p) * kPrime2;
+    h ^= Rotl(k, 31) * kPrime1;
+    h = Rotl(h, 27) * kPrime1 + kPrime2;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p)) * kPrime1;
+    h = Rotl(h, 11) * kPrime2;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace s2

@@ -1,0 +1,36 @@
+#ifndef S2_COMMON_HASH_H_
+#define S2_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace s2 {
+
+/// 64-bit byte-string hash (xxhash64-style avalanche, simplified). Used by
+/// the global secondary-index hash tables, hash joins, and shard-key
+/// partitioning. Deterministic across processes so hashes can be persisted
+/// in index files.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0);
+
+inline uint64_t Hash64(Slice s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Mixes a 64-bit integer (splitmix64 finalizer). Used to hash integer keys
+/// without serializing them.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace s2
+
+#endif  // S2_COMMON_HASH_H_

@@ -1,0 +1,77 @@
+#ifndef S2_COMMON_RESULT_H_
+#define S2_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace s2 {
+
+/// Holds either a value of type T or a non-OK Status. Modeled after
+/// arrow::Result. Construction from a value or a non-OK Status is implicit
+/// so `return value;` and `return Status::NotFound(...);` both work inside
+/// functions returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be built from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns that error from the
+/// enclosing function, otherwise moves the value into `lhs` (which may be a
+/// declaration, e.g. `S2_ASSIGN_OR_RETURN(auto x, Foo());`).
+#define S2_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)   \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define S2_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define S2_ASSIGN_OR_RETURN_CONCAT(x, y) S2_ASSIGN_OR_RETURN_CONCAT_(x, y)
+#define S2_ASSIGN_OR_RETURN(lhs, rexpr) \
+  S2_ASSIGN_OR_RETURN_IMPL(             \
+      S2_ASSIGN_OR_RETURN_CONCAT(_s2_result_, __LINE__), lhs, rexpr)
+
+}  // namespace s2
+
+#endif  // S2_COMMON_RESULT_H_

@@ -1,0 +1,64 @@
+#ifndef S2_COMMON_SLICE_H_
+#define S2_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace s2 {
+
+/// A non-owning view over a contiguous byte range, RocksDB-style. Used at
+/// storage boundaries where std::string_view's char orientation is awkward.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const char* s) : data_(s), size_(s ? strlen(s) : 0) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace s2
+
+#endif  // S2_COMMON_SLICE_H_

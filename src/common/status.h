@@ -1,0 +1,107 @@
+#ifndef S2_COMMON_STATUS_H_
+#define S2_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace s2 {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIOError,
+  kNotSupported,
+  kAborted,       // transaction conflict / retryable
+  kUnavailable,   // blob store outage, node down
+  kInternal,
+};
+
+/// Outcome of an operation that can fail. Modeled after Arrow/RocksDB
+/// Status: cheap to pass by value in the OK case (a single null pointer),
+/// carries a code and message on error. No exceptions cross module
+/// boundaries in this codebase; every fallible API returns Status or
+/// Result<T>.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+
+  /// Human-readable "CODE: message" string, "OK" when ok().
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+/// Returns from the enclosing function if `expr` yields a non-OK Status.
+#define S2_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::s2::Status _s2_status = (expr);         \
+    if (!_s2_status.ok()) return _s2_status;  \
+  } while (false)
+
+}  // namespace s2
+
+#endif  // S2_COMMON_STATUS_H_

@@ -1,0 +1,65 @@
+#include "common/threadpool.h"
+
+namespace s2 {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace s2

@@ -1,0 +1,67 @@
+#include "encoding/bitpack.h"
+
+#include <bit>
+#include <cstring>
+
+namespace s2 {
+
+int BitWidthFor(uint64_t v) {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+
+void BitPack(const uint64_t* values, size_t n, int width, std::string* dst) {
+  if (width == 0) return;  // all values are zero; nothing stored
+  size_t nbytes = BitPackedBytes(n, width);
+  size_t base = dst->size();
+  dst->resize(base + nbytes, 0);
+  unsigned char* out = reinterpret_cast<unsigned char*>(dst->data() + base);
+  size_t bitpos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = values[i];
+    size_t byte = bitpos >> 3;
+    int shift = static_cast<int>(bitpos & 7);
+    // Write up to width+7 bits starting at (byte, shift). Max span 9 bytes.
+    uint64_t lo = v << shift;
+    for (int b = 0; b < 8 && (shift + width) > b * 8; ++b) {
+      out[byte + b] |= static_cast<unsigned char>(lo >> (b * 8));
+    }
+    if (shift + width > 64) {
+      out[byte + 8] |= static_cast<unsigned char>(v >> (64 - shift));
+    }
+    bitpos += width;
+  }
+}
+
+uint64_t BitUnpackOne(const char* data, size_t i, int width) {
+  if (width == 0) return 0;
+  size_t bitpos = i * static_cast<size_t>(width);
+  size_t byte = bitpos >> 3;
+  int shift = static_cast<int>(bitpos & 7);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint64_t v = 0;
+  int got = 0;
+  int b = 0;
+  while (got < shift + width) {
+    v |= static_cast<uint64_t>(p[byte + b]) << (b * 8);
+    got += 8;
+    ++b;
+    if (b == 8) break;  // can hold at most 64 bits in v
+  }
+  v >>= shift;
+  if (shift + width > 64) {
+    uint64_t hi = p[byte + 8];
+    v |= hi << (64 - shift);
+  }
+  if (width < 64) v &= (uint64_t{1} << width) - 1;
+  return v;
+}
+
+void BitUnpackRange(const char* data, size_t start, size_t count, int width,
+                    std::vector<uint64_t>* out) {
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(BitUnpackOne(data, start + i, width));
+  }
+}
+
+}  // namespace s2

@@ -1,0 +1,36 @@
+#ifndef S2_ENCODING_BITPACK_H_
+#define S2_ENCODING_BITPACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2 {
+
+// Fixed-width bit packing. Values are packed LSB-first into a little-endian
+// byte stream; random access at index i reads the (i*width)-th bit without
+// touching neighbours, which is what makes bit-packed columns seekable
+// (paper Section 2.1.2).
+
+/// Minimum bit width able to represent v (0 -> 0 bits).
+int BitWidthFor(uint64_t v);
+
+/// Appends ceil(n*width/8) bytes holding values[0..n) at `width` bits each.
+/// Values must all fit in `width` bits.
+void BitPack(const uint64_t* values, size_t n, int width, std::string* dst);
+
+/// Reads the value at index i from a packed buffer.
+uint64_t BitUnpackOne(const char* data, size_t i, int width);
+
+/// Decodes values [start, start+count) into out (appended).
+void BitUnpackRange(const char* data, size_t start, size_t count, int width,
+                    std::vector<uint64_t>* out);
+
+/// Number of bytes a packed run occupies.
+inline size_t BitPackedBytes(size_t n, int width) {
+  return (n * static_cast<size_t>(width) + 7) / 8;
+}
+
+}  // namespace s2
+
+#endif  // S2_ENCODING_BITPACK_H_

@@ -1,0 +1,109 @@
+#include "encoding/column_vector.h"
+
+#include <cassert>
+
+namespace s2 {
+
+void ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt(v.as_int());
+      break;
+    case DataType::kDouble:
+      AppendDouble(v.is_int() ? static_cast<double>(v.as_int())
+                              : v.as_double());
+      break;
+    case DataType::kString:
+      AppendString(v.as_string());
+      break;
+  }
+}
+
+void ColumnVector::AppendInt(int64_t v) {
+  assert(type_ == DataType::kInt64);
+  ints_.push_back(v);
+  ++size_;
+  if (has_nulls_) nulls_.Resize(static_cast<uint32_t>(size_));
+}
+
+void ColumnVector::AppendDouble(double v) {
+  assert(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+  ++size_;
+  if (has_nulls_) nulls_.Resize(static_cast<uint32_t>(size_));
+}
+
+void ColumnVector::AppendString(std::string v) {
+  assert(type_ == DataType::kString);
+  strings_.push_back(std::move(v));
+  ++size_;
+  if (has_nulls_) nulls_.Resize(static_cast<uint32_t>(size_));
+}
+
+void ColumnVector::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  ++size_;
+  EnsureNulls();
+  nulls_.Set(static_cast<uint32_t>(size_ - 1));
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[i]);
+    case DataType::kDouble:
+      return Value(doubles_[i]);
+    case DataType::kString:
+      return Value(strings_[i]);
+  }
+  return Value::Null();
+}
+
+void ColumnVector::Clear() {
+  size_ = 0;
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  nulls_ = BitVector();
+  has_nulls_ = false;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::EnsureNulls() {
+  if (!has_nulls_) {
+    nulls_ = BitVector(static_cast<uint32_t>(size_));
+    has_nulls_ = true;
+  } else {
+    nulls_.Resize(static_cast<uint32_t>(size_));
+  }
+}
+
+}  // namespace s2

@@ -1,0 +1,61 @@
+#ifndef S2_ENCODING_COLUMN_VECTOR_H_
+#define S2_ENCODING_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/types.h"
+
+namespace s2 {
+
+/// In-memory decoded column: the unit of vectorized execution and the input
+/// to segment encoding. Storage is type-specific flat vectors plus a null
+/// bitmap; rows with a set null bit still occupy a (zero) slot in the data
+/// vector so offsets line up.
+class ColumnVector {
+ public:
+  ColumnVector() : type_(DataType::kInt64) {}
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void Append(const Value& v);
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendNull();
+
+  bool IsNull(size_t i) const { return has_nulls_ && nulls_.Get(i); }
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Materializes row i as a Value (allocates for strings).
+  Value GetValue(size_t i) const;
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  bool has_nulls() const { return has_nulls_; }
+
+  void Clear();
+  void Reserve(size_t n);
+
+ private:
+  void EnsureNulls();
+
+  DataType type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  BitVector nulls_;
+  bool has_nulls_ = false;
+};
+
+}  // namespace s2
+
+#endif  // S2_ENCODING_COLUMN_VECTOR_H_

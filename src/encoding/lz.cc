@@ -1,0 +1,136 @@
+#include "encoding/lz.h"
+
+#include <cstring>
+#include <vector>
+
+namespace s2 {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+inline uint32_t HashPos(const unsigned char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Writes an LZ4-style length: `base` (nibble already emitted) handled by the
+// caller; this emits the 255-run continuation bytes for len >= 15.
+void EmitExtLength(size_t len, std::string* dst) {
+  while (len >= 255) {
+    dst->push_back(static_cast<char>(255));
+    len -= 255;
+  }
+  dst->push_back(static_cast<char>(len));
+}
+
+void EmitSequence(const unsigned char* lit, size_t lit_len, size_t match_len,
+                  size_t offset, std::string* dst) {
+  // Token: [literal nibble | match nibble]. match_len==0 means "no match"
+  // (final literals); otherwise stored as match_len - kMinMatch.
+  size_t ml = match_len == 0 ? 0 : match_len - kMinMatch;
+  unsigned char token =
+      static_cast<unsigned char>((lit_len >= 15 ? 15 : lit_len) << 4) |
+      static_cast<unsigned char>(ml >= 15 ? 15 : ml);
+  dst->push_back(static_cast<char>(token));
+  if (lit_len >= 15) EmitExtLength(lit_len - 15, dst);
+  dst->append(reinterpret_cast<const char*>(lit), lit_len);
+  if (match_len > 0) {
+    dst->push_back(static_cast<char>(offset & 0xff));
+    dst->push_back(static_cast<char>((offset >> 8) & 0xff));
+    if (ml >= 15) EmitExtLength(ml - 15, dst);
+  }
+}
+
+}  // namespace
+
+void LzCompress(Slice input, std::string* dst) {
+  const unsigned char* base =
+      reinterpret_cast<const unsigned char*>(input.data());
+  const size_t n = input.size();
+  if (n < kMinMatch + 1) {
+    EmitSequence(base, n, 0, 0, dst);
+    return;
+  }
+  std::vector<int64_t> table(size_t{1} << kHashBits, -1);
+  size_t i = 0;
+  size_t anchor = 0;
+  // Leave the last kMinMatch bytes as literals so the hash never reads past
+  // the end.
+  const size_t limit = n - kMinMatch;
+  while (i < limit) {
+    uint32_t h = HashPos(base + i);
+    int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kMaxOffset &&
+        memcmp(base + cand, base + i, kMinMatch) == 0) {
+      // Extend the match forward.
+      size_t match_len = kMinMatch;
+      while (i + match_len < n &&
+             base[cand + match_len] == base[i + match_len]) {
+        ++match_len;
+      }
+      EmitSequence(base + anchor, i - anchor, match_len,
+                   i - static_cast<size_t>(cand), dst);
+      i += match_len;
+      anchor = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitSequence(base + anchor, n - anchor, 0, 0, dst);
+}
+
+Status LzDecompress(Slice block, size_t uncompressed_size, std::string* dst) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(block.data());
+  const unsigned char* end = p + block.size();
+  size_t out_base = dst->size();
+  dst->reserve(out_base + uncompressed_size);
+
+  auto read_ext = [&](size_t base_len) -> Result<size_t> {
+    size_t len = base_len;
+    if (base_len == 15) {
+      unsigned char b;
+      do {
+        if (p >= end) return Status::Corruption("s2lz: truncated length");
+        b = *p++;
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (p < end) {
+    unsigned char token = *p++;
+    S2_ASSIGN_OR_RETURN(size_t lit_len, read_ext(token >> 4));
+    if (static_cast<size_t>(end - p) < lit_len) {
+      return Status::Corruption("s2lz: truncated literals");
+    }
+    dst->append(reinterpret_cast<const char*>(p), lit_len);
+    p += lit_len;
+    if (p >= end) break;  // final literal run has no match part
+    if (end - p < 2) return Status::Corruption("s2lz: truncated offset");
+    size_t offset = p[0] | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    S2_ASSIGN_OR_RETURN(size_t ml, read_ext(token & 0x0f));
+    size_t match_len = ml + kMinMatch;
+    size_t produced = dst->size() - out_base;
+    if (offset == 0 || offset > produced) {
+      return Status::Corruption("s2lz: bad match offset");
+    }
+    // Byte-at-a-time copy: handles overlapping matches (RLE-style).
+    size_t src = dst->size() - offset;
+    for (size_t k = 0; k < match_len; ++k) {
+      dst->push_back((*dst)[src + k]);
+    }
+  }
+  if (dst->size() - out_base != uncompressed_size) {
+    return Status::Corruption("s2lz: size mismatch after decompress");
+  }
+  return Status::OK();
+}
+
+}  // namespace s2

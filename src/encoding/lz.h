@@ -1,0 +1,26 @@
+#ifndef S2_ENCODING_LZ_H_
+#define S2_ENCODING_LZ_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace s2 {
+
+// "s2lz": an LZ4-style byte compressor (greedy hash-chain match finder,
+// token format of literal-run + match). Stands in for LZ4 in column
+// payload compression. Self-contained, no external dependency.
+
+/// Compresses `input`, appending the compressed bytes to *dst. The output
+/// is a raw block (no length header); the caller records sizes.
+void LzCompress(Slice input, std::string* dst);
+
+/// Decompresses a block produced by LzCompress. `uncompressed_size` must be
+/// the exact original size. Appends to *dst; errors on malformed input.
+Status LzDecompress(Slice block, size_t uncompressed_size, std::string* dst);
+
+}  // namespace s2
+
+#endif  // S2_ENCODING_LZ_H_

@@ -1,0 +1,53 @@
+#include "engine/database.h"
+
+#include <limits>
+
+namespace s2 {
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  ClusterOptions copts;
+  copts.dir = db->options_.dir;
+  copts.num_partitions = db->options_.num_partitions;
+  copts.num_nodes = db->options_.num_nodes;
+  copts.ha_replicas = db->options_.ha_replicas;
+  copts.blob = db->options_.blob;
+  copts.auto_maintain = db->options_.auto_maintain;
+  copts.background_uploads = db->options_.background_uploads;
+  copts.sync_blob_commit =
+      db->options_.profile == EngineProfile::kCloudWarehouse;
+  db->cluster_ = std::make_unique<Cluster>(copts);
+  S2_RETURN_NOT_OK(db->cluster_->Start());
+  return db;
+}
+
+Status Database::CreateTable(const std::string& name, TableOptions options,
+                             std::vector<int> shard_key) {
+  switch (options_.profile) {
+    case EngineProfile::kUnified:
+      break;
+    case EngineProfile::kOperationalRowstore:
+      // Rowstore-only: nothing ever flushes to columnstore segments, so
+      // analytics scan row-oriented storage row-at-a-time.
+      options.flush_threshold = std::numeric_limits<uint32_t>::max();
+      break;
+    case EngineProfile::kCloudWarehouse:
+      // CDWs accept unique-key DDL but do not *enforce* it, and they lack
+      // fine-grained OLTP indexing: drop both. Scans rely on zone maps
+      // only. This is precisely why "CDW1 and CDW2 do not support running
+      // TPC-C" in the paper's evaluation.
+      options.unique_key.clear();
+      options.indexes.clear();
+      break;
+  }
+  return cluster_->CreateTable(name, options, std::move(shard_key));
+}
+
+Status Database::Insert(const std::string& table, const std::vector<Row>& rows,
+                        DupPolicy policy) {
+  return cluster_->InsertRows(table, rows, policy);
+}
+
+}  // namespace s2

@@ -1,0 +1,93 @@
+#ifndef S2_ENGINE_DATABASE_H_
+#define S2_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "query/plan.h"
+#include "storage/table_options.h"
+
+namespace s2 {
+
+/// Which engine personality a Database runs with. The paper's evaluation
+/// (Section 6) compares S2DB with a cloud operational database ("CDB") and
+/// two cloud data warehouses ("CDW1/CDW2"); the baselines here implement
+/// the properties Section 6 attributes to them.
+enum class EngineProfile {
+  /// The paper's system: unified table storage, async blob uploads,
+  /// secondary/unique keys, adaptive execution.
+  kUnified,
+  /// CDB-like: a rowstore-based operational database. Data stays in the
+  /// in-memory rowstore (never flushed to columnstore), so analytics run
+  /// row-at-a-time over row-oriented storage.
+  kOperationalRowstore,
+  /// CDW-like: pure columnstore, commits synchronously persisted to blob
+  /// storage, and no secondary indexes, unique keys, or row-level locking
+  /// — which is why "CDW1 and CDW2 do not support running TPC-C".
+  kCloudWarehouse,
+};
+
+struct DatabaseOptions {
+  std::string dir;
+  BlobStore* blob = nullptr;
+  int num_partitions = 1;
+  int num_nodes = 1;
+  int ha_replicas = 0;
+  bool auto_maintain = true;
+  bool background_uploads = false;
+  EngineProfile profile = EngineProfile::kUnified;
+};
+
+/// The public façade: open a database, create tables, write rows, run
+/// queries, manage workspaces. One Database wraps a (possibly
+/// single-partition) simulated cluster.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  /// Creates a table on every partition. The engine profile adjusts the
+  /// physical options (see EngineProfile). Returns InvalidArgument when
+  /// the profile cannot support the request (e.g. unique keys on the CDW
+  /// profile, matching the paper's "lack of enforced unique constraints").
+  Status CreateTable(const std::string& name, TableOptions options,
+                     std::vector<int> shard_key);
+
+  /// Autocommit batch insert, routed by shard key.
+  Status Insert(const std::string& table, const std::vector<Row>& rows,
+                DupPolicy policy = DupPolicy::kError);
+
+  /// Begins an explicit (multi-statement, multi-partition) transaction.
+  Cluster::Txn Begin() { return cluster_->BeginTxn(); }
+
+  /// Scatter phase of a query: runs `factory()`-built plans on every
+  /// partition (workspace >= 0 targets a read-only workspace) and
+  /// concatenates rows; the caller applies the gather/combine step.
+  Result<std::vector<Row>> Query(const std::function<PlanPtr()>& factory,
+                                 int workspace = -1) {
+    return cluster_->ScatterQuery(factory, workspace);
+  }
+
+  /// Snapshot + upload everything to blob storage.
+  Status Checkpoint() { return cluster_->UploadAllToBlob(); }
+
+  /// Provisions a read-only workspace (requires a blob store).
+  Result<int> CreateWorkspace() { return cluster_->CreateWorkspace(); }
+
+  /// Flush/merge/vacuum across partitions.
+  Status Maintain() { return cluster_->Maintain(); }
+
+  Cluster* cluster() { return cluster_.get(); }
+  EngineProfile profile() const { return options_.profile; }
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  DatabaseOptions options_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+}  // namespace s2
+
+#endif  // S2_ENGINE_DATABASE_H_

@@ -1,0 +1,126 @@
+#include "exec/filter.h"
+
+namespace s2 {
+
+bool FilterNode::EvalValue(const Value& v) const {
+  if (v.is_null()) return false;  // SQL semantics: NULL fails predicates
+  if (is_in) {
+    for (const Value& candidate : in_list) {
+      if (v.Compare(candidate) == 0) return true;
+    }
+    return false;
+  }
+  if (is_between) {
+    return v.Compare(value) >= 0 && v.Compare(value2) <= 0;
+  }
+  int cmp = v.Compare(value);
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool FilterNode::EvalRow(const Row& row) const {
+  switch (kind) {
+    case Kind::kLeaf:
+      return EvalValue(row[col]);
+    case Kind::kAnd:
+      for (const auto& child : children) {
+        if (!child->EvalRow(row)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& child : children) {
+        if (child->EvalRow(row)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::unique_ptr<FilterNode> FilterNode::Clone() const {
+  auto node = std::make_unique<FilterNode>();
+  node->kind = kind;
+  node->col = col;
+  node->op = op;
+  node->value = value;
+  node->value2 = value2;
+  node->in_list = in_list;
+  node->is_in = is_in;
+  node->is_between = is_between;
+  for (const auto& child : children) node->children.push_back(child->Clone());
+  return node;
+}
+
+std::unique_ptr<FilterNode> FilterEq(int col, Value v) {
+  return FilterCmp(col, CmpOp::kEq, std::move(v));
+}
+
+std::unique_ptr<FilterNode> FilterCmp(int col, CmpOp op, Value v) {
+  auto node = std::make_unique<FilterNode>();
+  node->kind = FilterNode::Kind::kLeaf;
+  node->col = col;
+  node->op = op;
+  node->value = std::move(v);
+  return node;
+}
+
+std::unique_ptr<FilterNode> FilterBetween(int col, Value lo, Value hi) {
+  auto node = std::make_unique<FilterNode>();
+  node->kind = FilterNode::Kind::kLeaf;
+  node->col = col;
+  node->is_between = true;
+  node->value = std::move(lo);
+  node->value2 = std::move(hi);
+  return node;
+}
+
+std::unique_ptr<FilterNode> FilterIn(int col, std::vector<Value> values) {
+  auto node = std::make_unique<FilterNode>();
+  node->kind = FilterNode::Kind::kLeaf;
+  node->col = col;
+  node->is_in = true;
+  node->in_list = std::move(values);
+  return node;
+}
+
+std::unique_ptr<FilterNode> FilterAnd(
+    std::vector<std::unique_ptr<FilterNode>> children) {
+  auto node = std::make_unique<FilterNode>();
+  node->kind = FilterNode::Kind::kAnd;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<FilterNode> FilterOr(
+    std::vector<std::unique_ptr<FilterNode>> children) {
+  auto node = std::make_unique<FilterNode>();
+  node->kind = FilterNode::Kind::kOr;
+  node->children = std::move(children);
+  return node;
+}
+
+void CollectTopLevelConjuncts(const FilterNode* node,
+                              std::vector<const FilterNode*>* out) {
+  if (node == nullptr) return;
+  if (node->kind == FilterNode::Kind::kAnd) {
+    for (const auto& child : node->children) {
+      CollectTopLevelConjuncts(child.get(), out);
+    }
+  } else {
+    out->push_back(node);
+  }
+}
+
+}  // namespace s2

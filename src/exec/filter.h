@@ -1,0 +1,63 @@
+#ifndef S2_EXEC_FILTER_H_
+#define S2_EXEC_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "encoding/column_vector.h"
+
+namespace s2 {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A filter condition tree: AND/OR internal nodes over leaf clauses of the
+/// form `col <op> constant`, `col IN (...)`, `col BETWEEN a AND b`. This is
+/// the unit the adaptive executor reorders and costs (paper Section 5.2:
+/// "S2DB represents the filter condition as a tree and reorders each
+/// intermediate AND/OR node in the tree separately").
+struct FilterNode {
+  enum class Kind { kLeaf, kAnd, kOr };
+
+  Kind kind = Kind::kLeaf;
+
+  // Leaf payload.
+  int col = 0;
+  CmpOp op = CmpOp::kEq;
+  Value value;             // comparison constant / BETWEEN low
+  Value value2;            // BETWEEN high
+  std::vector<Value> in_list;
+  bool is_in = false;
+  bool is_between = false;
+
+  std::vector<std::unique_ptr<FilterNode>> children;
+
+  /// Row-at-a-time evaluation (rowstore side and group filters).
+  bool EvalRow(const Row& row) const;
+
+  /// Evaluates this leaf against a single value.
+  bool EvalValue(const Value& v) const;
+
+  /// Deep copy.
+  std::unique_ptr<FilterNode> Clone() const;
+};
+
+// Construction helpers.
+std::unique_ptr<FilterNode> FilterEq(int col, Value v);
+std::unique_ptr<FilterNode> FilterCmp(int col, CmpOp op, Value v);
+std::unique_ptr<FilterNode> FilterBetween(int col, Value lo, Value hi);
+std::unique_ptr<FilterNode> FilterIn(int col, std::vector<Value> values);
+std::unique_ptr<FilterNode> FilterAnd(
+    std::vector<std::unique_ptr<FilterNode>> children);
+std::unique_ptr<FilterNode> FilterOr(
+    std::vector<std::unique_ptr<FilterNode>> children);
+
+/// Collects the leaf clauses of a top-level AND (a single leaf counts as a
+/// one-clause AND). Used to find index-eligible equality clauses.
+void CollectTopLevelConjuncts(const FilterNode* node,
+                              std::vector<const FilterNode*>* out);
+
+}  // namespace s2
+
+#endif  // S2_EXEC_FILTER_H_

@@ -1,0 +1,442 @@
+#include "exec/table_scanner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "index/inverted_index.h"
+#include "index/postings.h"
+
+namespace s2 {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TableScanner::TableScanner(UnifiedTable* table, ScanOptions options)
+    : table_(table), options_(std::move(options)) {
+  if (options_.projection.empty()) {
+    for (size_t c = 0; c < table_->schema().num_columns(); ++c) {
+      projection_.push_back(static_cast<int>(c));
+    }
+  } else {
+    projection_ = options_.projection;
+  }
+}
+
+Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
+                          const std::function<bool(const ScanBatch&)>& cb) {
+  bool stop = false;
+
+  // Level 0 rowstore: row-at-a-time filter (it is small by design).
+  ScanBatch batch;
+  for (int c : projection_) {
+    batch.columns.emplace_back(table_->schema().column(c).type);
+  }
+  auto flush_batch = [&]() -> bool {
+    if (batch.num_rows == 0) return true;
+    stats_.rows_output += batch.num_rows;
+    bool keep_going = cb(batch);
+    for (auto& col : batch.columns) col.Clear();
+    batch.locations.clear();
+    batch.num_rows = 0;
+    return keep_going;
+  };
+
+  table_->ScanRowstore(txn, read_ts, [&](const Row& row,
+                                         const RowLocation& loc) {
+    ++stats_.rows_considered;
+    if (options_.filter != nullptr && !options_.filter->EvalRow(row)) {
+      return true;
+    }
+    for (size_t i = 0; i < projection_.size(); ++i) {
+      batch.columns[i].Append(row[projection_[i]]);
+    }
+    batch.locations.push_back(loc);
+    ++batch.num_rows;
+    if (batch.num_rows >= options_.block_rows) {
+      if (!flush_batch()) {
+        stop = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!stop && !flush_batch()) stop = true;
+  if (stop) return Status::OK();
+
+  // Columnstore segments.
+  S2_ASSIGN_OR_RETURN(std::vector<SegmentSnapshot> segments,
+                      table_->GetSegments(read_ts));
+  stats_.segments_total += segments.size();
+  for (const SegmentSnapshot& snap : segments) {
+    S2_RETURN_NOT_OK(ScanSegment(snap, cb, &stop));
+    if (stop) break;
+  }
+  return Status::OK();
+}
+
+bool TableScanner::ZoneMapPasses(const FilterNode* conjunct,
+                                 const Segment& segment) {
+  if (conjunct->kind != FilterNode::Kind::kLeaf) return true;
+  const ColumnStats& stats = segment.stats(conjunct->col);
+  if (conjunct->is_in) {
+    for (const Value& v : conjunct->in_list) {
+      if (stats.MayContain(v)) return true;
+    }
+    return false;
+  }
+  if (conjunct->is_between) {
+    return stats.MayOverlap(conjunct->value, conjunct->value2);
+  }
+  switch (conjunct->op) {
+    case CmpOp::kEq:
+      return stats.MayContain(conjunct->value);
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+      return stats.MayOverlap(Value::Null(), conjunct->value);
+    case CmpOp::kGt:
+    case CmpOp::kGe:
+      return stats.MayOverlap(conjunct->value, Value::Null());
+    case CmpOp::kNe:
+      return true;
+  }
+  return true;
+}
+
+Result<bool> TableScanner::IndexBaseSelection(
+    const Segment& segment, const std::vector<const FilterNode*>& conjuncts,
+    std::vector<const FilterNode*>* consumed, std::vector<uint32_t>* rows) {
+  if (!options_.use_secondary_index) return false;
+  // One sorted row-set per index-eligible conjunct; intersected at the end
+  // (postings lists are sorted by construction; eq conjuncts could also
+  // leapfrog via SeekTo, which LookupSegmentsByCols uses on the OLTP path).
+  std::vector<std::vector<uint32_t>> sets;
+  for (const FilterNode* leaf : conjuncts) {
+    if (leaf->kind != FilterNode::Kind::kLeaf) continue;
+    bool eligible =
+        leaf->is_in || (!leaf->is_between && leaf->op == CmpOp::kEq);
+    if (!eligible) continue;
+    size_t num_keys = leaf->is_in ? leaf->in_list.size() : 1;
+    // Section 5.1: too many keys relative to the data size makes index
+    // probing a loss; dynamically disable the index for this clause.
+    if (static_cast<double>(num_keys) >
+        options_.max_index_key_fraction * segment.num_rows() + 1) {
+      continue;
+    }
+    auto block = segment.aux_block(InvertedIndexBuilder::BlockName(leaf->col));
+    if (!block.ok()) continue;
+    S2_ASSIGN_OR_RETURN(InvertedIndexReader reader,
+                        InvertedIndexReader::Open(*block));
+    std::vector<uint32_t> matched;
+    if (leaf->is_in) {
+      std::vector<PostingsIterator> per_key;
+      for (const Value& v : leaf->in_list) {
+        S2_ASSIGN_OR_RETURN(PostingsIterator it, reader.Lookup(v));
+        if (it.Valid()) per_key.push_back(std::move(it));
+      }
+      S2_RETURN_NOT_OK(UnionPostings(std::move(per_key), &matched));
+    } else {
+      S2_ASSIGN_OR_RETURN(PostingsIterator it, reader.Lookup(leaf->value));
+      while (it.Valid()) {
+        matched.push_back(it.row());
+        it.Next();
+      }
+    }
+    consumed->push_back(leaf);
+    sets.push_back(std::move(matched));
+    if (sets.back().empty()) break;  // empty intersection; stop probing
+  }
+  if (sets.empty()) return false;
+  *rows = std::move(sets[0]);
+  for (size_t i = 1; i < sets.size(); ++i) {
+    std::vector<uint32_t> merged;
+    std::set_intersection(rows->begin(), rows->end(), sets[i].begin(),
+                          sets[i].end(), std::back_inserter(merged));
+    *rows = std::move(merged);
+  }
+  ++stats_.index_filter_uses;
+  return true;
+}
+
+Status TableScanner::ScanSegment(
+    const SegmentSnapshot& snap,
+    const std::function<bool(const ScanBatch&)>& cb, bool* stop) {
+  const Segment& segment = *snap.segment;
+  std::vector<const FilterNode*> conjuncts;
+  CollectTopLevelConjuncts(options_.filter, &conjuncts);
+
+  // Step 1 (Section 5.1): segment skipping — zone maps on the conjuncts.
+  if (options_.use_zone_maps) {
+    for (const FilterNode* conjunct : conjuncts) {
+      if (!ZoneMapPasses(conjunct, segment)) {
+        ++stats_.segments_skipped_zone;
+        return Status::OK();
+      }
+    }
+  }
+
+  // Step 2: base row selection via the per-segment inverted indexes.
+  std::vector<uint32_t> rows;
+  std::vector<const FilterNode*> consumed;
+  S2_ASSIGN_OR_RETURN(bool used_index,
+                      IndexBaseSelection(segment, conjuncts, &consumed, &rows));
+  if (used_index && rows.empty()) {
+    ++stats_.segments_skipped_index;
+    return Status::OK();
+  }
+  if (!used_index) {
+    rows.resize(segment.num_rows());
+    for (uint32_t r = 0; r < segment.num_rows(); ++r) rows[r] = r;
+  }
+  stats_.rows_considered += rows.size();
+
+  // Step 3: drop deleted rows (cheap bit check, never merge-based).
+  if (snap.deletes != nullptr) {
+    std::vector<uint32_t> live;
+    live.reserve(rows.size());
+    for (uint32_t r : rows) {
+      if (!snap.deletes->Get(r)) live.push_back(r);
+    }
+    rows = std::move(live);
+  }
+
+  // Step 4: residual filter clauses, blockwise with adaptive ordering.
+  const FilterNode* filter = options_.filter;
+  std::vector<const FilterNode*> residual;
+  for (const FilterNode* conjunct : conjuncts) {
+    if (std::find(consumed.begin(), consumed.end(), conjunct) ==
+        consumed.end()) {
+      residual.push_back(conjunct);
+    }
+  }
+  if (filter != nullptr && !residual.empty()) {
+    // "Costing is skipped if the filter condition is a conjunction with a
+    // selective index filter" — just run the residuals in order.
+    bool skip_costing =
+        used_index && rows.size() * 20 < segment.num_rows();
+    std::vector<uint32_t> selected;
+    size_t block = options_.block_rows;
+    for (size_t begin = 0; begin < rows.size() && !*stop; begin += block) {
+      size_t end = std::min(rows.size(), begin + block);
+      std::vector<uint32_t> block_rows(rows.begin() + begin,
+                                       rows.begin() + end);
+      if (!skip_costing && options_.adaptive_reorder) {
+        // Order conjuncts by (1 - P) / cost, descending (Section 5.2).
+        std::stable_sort(residual.begin(), residual.end(),
+                         [&](const FilterNode* a, const FilterNode* b) {
+                           const ClauseStats& sa = StatsFor(a);
+                           const ClauseStats& sb = StatsFor(b);
+                           double ra = (1.0 - sa.selectivity()) /
+                                       std::max(1.0, sa.cost_ns_per_row);
+                           double rb = (1.0 - sb.selectivity()) /
+                                       std::max(1.0, sb.cost_ns_per_row);
+                           return ra > rb;
+                         });
+      }
+      // Group filter: when every residual clause is barely selective,
+      // evaluating the whole condition at once avoids per-clause overhead.
+      bool all_wide = options_.use_group_filter && residual.size() > 1;
+      for (const FilterNode* clause : residual) {
+        if (StatsFor(clause).rows_in < 512 ||
+            StatsFor(clause).selectivity() < 0.75) {
+          all_wide = false;
+        }
+      }
+      if (all_wide) {
+        ++stats_.group_filter_uses;
+        std::vector<int> cols_needed;
+        for (const FilterNode* clause : residual) {
+          std::vector<const FilterNode*> leaves;
+          CollectTopLevelConjuncts(clause, &leaves);
+          for (const FilterNode* leaf : leaves) {
+            if (leaf->kind == FilterNode::Kind::kLeaf) {
+              cols_needed.push_back(leaf->col);
+            }
+          }
+        }
+        std::sort(cols_needed.begin(), cols_needed.end());
+        cols_needed.erase(
+            std::unique(cols_needed.begin(), cols_needed.end()),
+            cols_needed.end());
+        std::unordered_map<int, ColumnVector> decoded;
+        for (int c : cols_needed) {
+          S2_ASSIGN_OR_RETURN(const ColumnReader* reader, segment.column(c));
+          ColumnVector out(table_->schema().column(c).type);
+          reader->DecodeRows(block_rows, &out);
+          decoded.emplace(c, std::move(out));
+        }
+        Row probe(table_->schema().num_columns());
+        for (size_t i = 0; i < block_rows.size(); ++i) {
+          for (int c : cols_needed) probe[c] = decoded.at(c).GetValue(i);
+          bool pass = true;
+          for (const FilterNode* clause : residual) {
+            if (!clause->EvalRow(probe)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) selected.push_back(block_rows[i]);
+        }
+        continue;
+      }
+      std::vector<uint32_t> current = std::move(block_rows);
+      for (const FilterNode* clause : residual) {
+        if (current.empty()) break;
+        S2_ASSIGN_OR_RETURN(current,
+                            EvalNode(clause, segment, std::move(current)));
+      }
+      selected.insert(selected.end(), current.begin(), current.end());
+    }
+    rows = std::move(selected);
+  }
+
+  return EmitRows(snap, rows, cb, stop);
+}
+
+Result<std::vector<uint32_t>> TableScanner::EvalNode(
+    const FilterNode* node, const Segment& segment,
+    std::vector<uint32_t> rows) {
+  switch (node->kind) {
+    case FilterNode::Kind::kLeaf:
+      return EvalLeaf(node, segment, std::move(rows));
+    case FilterNode::Kind::kAnd: {
+      std::vector<const FilterNode*> order;
+      for (const auto& child : node->children) order.push_back(child.get());
+      if (options_.adaptive_reorder) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](const FilterNode* a, const FilterNode* b) {
+                           const ClauseStats& sa = StatsFor(a);
+                           const ClauseStats& sb = StatsFor(b);
+                           return (1.0 - sa.selectivity()) /
+                                      std::max(1.0, sa.cost_ns_per_row) >
+                                  (1.0 - sb.selectivity()) /
+                                      std::max(1.0, sb.cost_ns_per_row);
+                         });
+      }
+      for (const FilterNode* child : order) {
+        if (rows.empty()) break;
+        S2_ASSIGN_OR_RETURN(rows, EvalNode(child, segment, std::move(rows)));
+      }
+      return rows;
+    }
+    case FilterNode::Kind::kOr: {
+      std::vector<const FilterNode*> order;
+      for (const auto& child : node->children) order.push_back(child.get());
+      if (options_.adaptive_reorder) {
+        // For OR, evaluate the clause that accepts the most rows per unit
+        // cost first: accepted rows skip all later clauses.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](const FilterNode* a, const FilterNode* b) {
+                           const ClauseStats& sa = StatsFor(a);
+                           const ClauseStats& sb = StatsFor(b);
+                           return sa.selectivity() /
+                                      std::max(1.0, sa.cost_ns_per_row) >
+                                  sb.selectivity() /
+                                      std::max(1.0, sb.cost_ns_per_row);
+                         });
+      }
+      std::vector<uint32_t> accepted;
+      std::vector<uint32_t> remaining = std::move(rows);
+      for (const FilterNode* child : order) {
+        if (remaining.empty()) break;
+        S2_ASSIGN_OR_RETURN(std::vector<uint32_t> pass,
+                            EvalNode(child, segment, remaining));
+        std::vector<uint32_t> next_remaining;
+        std::set_difference(remaining.begin(), remaining.end(), pass.begin(),
+                            pass.end(), std::back_inserter(next_remaining));
+        accepted.insert(accepted.end(), pass.begin(), pass.end());
+        remaining = std::move(next_remaining);
+      }
+      std::sort(accepted.begin(), accepted.end());
+      return accepted;
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<uint32_t>> TableScanner::EvalLeaf(
+    const FilterNode* leaf, const Segment& segment,
+    std::vector<uint32_t> rows) {
+  S2_ASSIGN_OR_RETURN(const ColumnReader* reader, segment.column(leaf->col));
+  ClauseStats& stats = StatsFor(leaf);
+  uint64_t start_ns = NowNs();
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+
+  const ColumnVector* dict = reader->dictionary();
+  bool encoded = options_.use_encoded_filters && dict != nullptr &&
+                 dict->size() < rows.size();
+  if (encoded) {
+    // Encoded filter (Section 5.2): evaluate once per dictionary entry,
+    // then test rows via their codes without decoding.
+    ++stats_.encoded_filter_uses;
+    std::vector<char> pass(dict->size());
+    for (size_t d = 0; d < dict->size(); ++d) {
+      pass[d] = leaf->EvalValue(dict->GetValue(d)) ? 1 : 0;
+    }
+    for (uint32_t r : rows) {
+      if (reader->IsNull(r)) continue;
+      if (pass[reader->CodeAt(r)]) out.push_back(r);
+    }
+  } else {
+    // Regular filter: selectively decode only the candidate rows (late
+    // materialization) and evaluate.
+    ++stats_.regular_filter_uses;
+    ColumnVector values(reader->type());
+    reader->DecodeRows(rows, &values);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (leaf->EvalValue(values.GetValue(i))) out.push_back(rows[i]);
+    }
+  }
+
+  uint64_t elapsed = NowNs() - start_ns;
+  stats.rows_in += rows.size();
+  stats.rows_out += out.size();
+  if (!rows.empty()) {
+    double per_row = static_cast<double>(elapsed) /
+                     static_cast<double>(rows.size());
+    // Exponential moving average keeps the estimate per-segment adaptive.
+    stats.cost_ns_per_row = 0.7 * stats.cost_ns_per_row + 0.3 * per_row;
+  }
+  return out;
+}
+
+Status TableScanner::EmitRows(const SegmentSnapshot& snap,
+                              const std::vector<uint32_t>& rows,
+                              const std::function<bool(const ScanBatch&)>& cb,
+                              bool* stop) {
+  if (rows.empty()) return Status::OK();
+  size_t block = options_.block_rows;
+  for (size_t begin = 0; begin < rows.size() && !*stop; begin += block) {
+    size_t end = std::min(rows.size(), begin + block);
+    std::vector<uint32_t> batch_rows(rows.begin() + begin, rows.begin() + end);
+    ScanBatch batch;
+    batch.num_rows = batch_rows.size();
+    for (int c : projection_) {
+      S2_ASSIGN_OR_RETURN(const ColumnReader* reader, snap.segment->column(c));
+      ColumnVector out(table_->schema().column(c).type);
+      reader->DecodeRows(batch_rows, &out);
+      batch.columns.push_back(std::move(out));
+    }
+    batch.locations.reserve(batch_rows.size());
+    for (uint32_t r : batch_rows) {
+      RowLocation loc;
+      loc.in_rowstore = false;
+      loc.segment_id = snap.id;
+      loc.row_offset = r;
+      batch.locations.push_back(loc);
+    }
+    stats_.rows_output += batch.num_rows;
+    if (!cb(batch)) *stop = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace s2

@@ -1,0 +1,127 @@
+#ifndef S2_EXEC_TABLE_SCANNER_H_
+#define S2_EXEC_TABLE_SCANNER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/filter.h"
+#include "storage/unified_table.h"
+
+namespace s2 {
+
+/// Feature toggles and tuning for adaptive scans. The ablation benchmarks
+/// flip these to quantify each Section 5 mechanism.
+struct ScanOptions {
+  /// Columns to materialize; empty = all columns.
+  std::vector<int> projection;
+  /// Filter condition; null = no filter.
+  const FilterNode* filter = nullptr;
+
+  bool use_zone_maps = true;         // min/max segment elimination
+  bool use_secondary_index = true;   // postings-driven row selection
+  bool use_encoded_filters = true;   // evaluate on dictionary codes
+  bool use_group_filter = true;      // whole-condition eval on wide passes
+  bool adaptive_reorder = true;      // (1-P)/cost clause ordering
+
+  /// An index clause is disabled when it needs more key probes than this
+  /// fraction of the segment's rows (Section 5.1: IN-lists with too many
+  /// keys fall back to scanning).
+  double max_index_key_fraction = 0.05;
+
+  /// Rows per vectorized block; selectivity feedback flows block to block.
+  size_t block_rows = 4096;
+};
+
+struct ScanStats {
+  uint64_t segments_total = 0;
+  uint64_t segments_skipped_zone = 0;
+  uint64_t segments_skipped_index = 0;
+  uint64_t rows_considered = 0;
+  uint64_t rows_output = 0;
+  uint64_t index_filter_uses = 0;
+  uint64_t encoded_filter_uses = 0;
+  uint64_t group_filter_uses = 0;
+  uint64_t regular_filter_uses = 0;
+};
+
+/// One emitted batch: the projected columns (aligned) plus each row's
+/// storage location (for UPDATE/DELETE driving).
+struct ScanBatch {
+  std::vector<ColumnVector> columns;   // size == projection size
+  std::vector<RowLocation> locations;  // aligned with rows
+  size_t num_rows = 0;
+};
+
+/// Adaptive vectorized scan over one unified table at a snapshot (paper
+/// Section 5): segment skipping via secondary indexes then zone maps,
+/// per-segment filter-strategy selection (regular / encoded / group /
+/// index), and dynamic clause reordering by (1 - P) / cost with
+/// selectivity estimates fed back from previous blocks.
+class TableScanner {
+ public:
+  TableScanner(UnifiedTable* table, ScanOptions options);
+
+  /// Runs the scan. `cb` is invoked per batch and returns false to stop
+  /// early (LIMIT). Thread-compatible: create one scanner per thread.
+  Status Scan(TxnId txn, Timestamp read_ts,
+              const std::function<bool(const ScanBatch&)>& cb);
+
+  const ScanStats& stats() const { return stats_; }
+
+ private:
+  /// Running per-clause estimates (selectivity and per-row cost) shared
+  /// across segments and blocks of one scan.
+  struct ClauseStats {
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
+    double cost_ns_per_row = 50.0;  // prior
+    double selectivity() const {
+      return rows_in == 0 ? 0.5
+                          : static_cast<double>(rows_out) /
+                                static_cast<double>(rows_in);
+    }
+  };
+
+  Status ScanSegment(const SegmentSnapshot& snap,
+                     const std::function<bool(const ScanBatch&)>& cb,
+                     bool* stop);
+
+  /// Evaluates `node` over `rows` (ascending offsets within the segment),
+  /// returning the surviving offsets.
+  Result<std::vector<uint32_t>> EvalNode(const FilterNode* node,
+                                         const Segment& segment,
+                                         std::vector<uint32_t> rows);
+
+  Result<std::vector<uint32_t>> EvalLeaf(const FilterNode* leaf,
+                                         const Segment& segment,
+                                         std::vector<uint32_t> rows);
+
+  bool ZoneMapPasses(const FilterNode* conjunct, const Segment& segment);
+
+  /// Index-driven base selection for the segment; returns true when an
+  /// index was applied (and fills *rows), false to scan all rows.
+  Result<bool> IndexBaseSelection(const Segment& segment,
+                                  const std::vector<const FilterNode*>&
+                                      conjuncts,
+                                  std::vector<const FilterNode*>* consumed,
+                                  std::vector<uint32_t>* rows);
+
+  Status EmitRows(const SegmentSnapshot& snap,
+                  const std::vector<uint32_t>& rows,
+                  const std::function<bool(const ScanBatch&)>& cb,
+                  bool* stop);
+
+  ClauseStats& StatsFor(const FilterNode* node) { return clause_stats_[node]; }
+
+  UnifiedTable* table_;
+  ScanOptions options_;
+  std::vector<int> projection_;
+  ScanStats stats_;
+  std::unordered_map<const FilterNode*, ClauseStats> clause_stats_;
+};
+
+}  // namespace s2
+
+#endif  // S2_EXEC_TABLE_SCANNER_H_

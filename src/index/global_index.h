@@ -1,0 +1,109 @@
+#ifndef S2_INDEX_GLOBAL_INDEX_H_
+#define S2_INDEX_GLOBAL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2 {
+
+/// One entry of the global secondary index: a value hash mapped to the
+/// segment containing the value and the starting offset of its postings
+/// list inside that segment's inverted index. Only hashes are stored —
+/// column values stay in the per-segment inverted indexes, which keeps LSM
+/// merge write-amplification low for wide columns (paper Section 4.1).
+struct IndexEntry {
+  uint64_t hash = 0;
+  uint64_t segment_id = 0;
+  uint32_t postings_offset = 0;
+};
+
+/// Immutable open-addressing hash table over IndexEntry, the building block
+/// of the global index LSM. Linear probing; duplicate hashes (same value in
+/// several segments) occupy adjacent probe slots, so one probe chain visit
+/// finds them all.
+class ImmutableHashTable {
+ public:
+  /// Serializes `entries` into a table sized 2x entry count (power of two).
+  /// `covered_segments` lists every segment id the table references.
+  static std::string Build(const std::vector<IndexEntry>& entries,
+                           std::vector<uint64_t> covered_segments);
+
+  static Result<ImmutableHashTable> Open(
+      std::shared_ptr<const std::string> data);
+
+  /// Invokes cb for every entry whose hash equals `hash` (expected O(1)).
+  void Lookup(uint64_t hash,
+              const std::function<void(const IndexEntry&)>& cb) const;
+
+  /// Iterates every entry (used by merges).
+  void ForEach(const std::function<void(const IndexEntry&)>& cb) const;
+
+  const std::vector<uint64_t>& covered_segments() const { return covered_; }
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+  const char* slots_ = nullptr;
+  uint64_t table_size_ = 0;
+  size_t num_entries_ = 0;
+  std::vector<uint64_t> covered_;
+};
+
+/// The global secondary index for one column (or column tuple): a special
+/// LSM tree whose levels are immutable hash tables. A new single-segment
+/// table is appended when a segment is created; background merging keeps
+/// the number of tables logarithmic, so a point lookup probes O(log N)
+/// tables instead of checking every segment (paper Section 4.1).
+///
+/// Segment deletion is lazy: lookups skip entries whose segment is no
+/// longer live, and a table is rewritten only once at least half of its
+/// covered segments are dead.
+class GlobalIndex {
+ public:
+  explicit GlobalIndex(size_t max_tables = 8);
+
+  /// Registers the index entries of a newly created segment as a new
+  /// level-0 table, then merges if the LSM is over its run budget.
+  void AddSegment(uint64_t segment_id, const std::vector<IndexEntry>& entries);
+
+  /// Sets the liveness oracle used to skip dead segments. Must be set
+  /// before lookups when segments can be deleted.
+  void set_live_check(std::function<bool(uint64_t)> is_live) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    is_live_ = std::move(is_live);
+  }
+
+  /// Invokes cb for every live entry matching `hash`, across all tables.
+  void Lookup(uint64_t hash,
+              const std::function<void(const IndexEntry&)>& cb) const;
+
+  /// Background maintenance: merges tables beyond the budget and rewrites
+  /// tables with >= half dead coverage. Returns true if anything changed.
+  bool Maintain();
+
+  size_t num_tables() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tables_.size();
+  }
+
+  size_t total_entries() const;
+
+ private:
+  void MergeAllLocked();
+
+  size_t max_tables_;
+  mutable std::shared_mutex mu_;
+  std::vector<ImmutableHashTable> tables_;  // newest last
+  std::function<bool(uint64_t)> is_live_;
+};
+
+}  // namespace s2
+
+#endif  // S2_INDEX_GLOBAL_INDEX_H_

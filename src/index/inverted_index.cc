@@ -1,0 +1,120 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/coding.h"
+
+namespace s2 {
+
+// Block layout:
+//   [num_terms varint]
+//   directory: per term (sorted by encoded value):
+//     [value length-prefixed][entry_offset varint]
+//   [entries_size varint]
+//   entries region: per term: [value length-prefixed][postings]
+//
+// The entry stores the value again so PostingsAt(offset) can verify the
+// term without consulting the directory (global-index path, which must
+// reject 64-bit hash collisions).
+
+std::string InvertedIndexBuilder::Build(const ColumnVector& column) {
+  std::vector<TermInfo> unused;
+  return BuildWithTerms(column, &unused);
+}
+
+std::string InvertedIndexBuilder::BuildWithTerms(
+    const ColumnVector& column, std::vector<TermInfo>* terms) {
+  // Group rows by encoded value (ordered map keeps the directory sorted).
+  std::map<std::string, std::vector<uint32_t>> groups;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) continue;
+    std::string key;
+    column.GetValue(i).EncodeTo(&key);
+    groups[key].push_back(static_cast<uint32_t>(i));
+  }
+
+  std::string entries;
+  std::string directory;
+  terms->clear();
+  terms->reserve(groups.size());
+  for (const auto& [value, rows] : groups) {
+    uint32_t offset = static_cast<uint32_t>(entries.size());
+    PutLengthPrefixed(&entries, value);
+    EncodePostings(rows, &entries);
+
+    PutLengthPrefixed(&directory, value);
+    PutVarint64(&directory, offset);
+
+    Slice value_slice(value);
+    Value decoded = *Value::DecodeFrom(&value_slice);
+    terms->push_back(TermInfo{decoded.Hash(), offset,
+                              static_cast<uint32_t>(rows.size())});
+  }
+
+  std::string block;
+  PutVarint64(&block, groups.size());
+  block.append(directory);
+  PutVarint64(&block, entries.size());
+  block.append(entries);
+  return block;
+}
+
+Result<InvertedIndexReader> InvertedIndexReader::Open(Slice block) {
+  InvertedIndexReader reader;
+  Slice in = block;
+  S2_ASSIGN_OR_RETURN(uint64_t num_terms, GetVarint64(&in));
+  reader.terms_.reserve(num_terms);
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    S2_ASSIGN_OR_RETURN(Slice value, GetLengthPrefixed(&in));
+    S2_ASSIGN_OR_RETURN(uint64_t offset, GetVarint64(&in));
+    reader.terms_.push_back(
+        Term{value.ToString(), static_cast<uint32_t>(offset)});
+  }
+  S2_ASSIGN_OR_RETURN(uint64_t entries_size, GetVarint64(&in));
+  if (in.size() < entries_size) {
+    return Status::Corruption("truncated inverted index entries");
+  }
+  reader.entries_ = Slice(in.data(), entries_size);
+  return reader;
+}
+
+Result<PostingsIterator> InvertedIndexReader::Lookup(const Value& value) const {
+  std::string key;
+  value.EncodeTo(&key);
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), key,
+      [](const Term& t, const std::string& k) { return t.encoded_value < k; });
+  if (it == terms_.end() || it->encoded_value != key) {
+    return PostingsIterator();  // invalid: value absent
+  }
+  return PostingsAt(it->offset, value);
+}
+
+void InvertedIndexReader::ForEachTerm(
+    const std::function<void(const Value& value, uint32_t offset)>& cb) const {
+  for (const Term& term : terms_) {
+    Slice in(term.encoded_value);
+    auto value = Value::DecodeFrom(&in);
+    if (value.ok()) cb(*value, term.offset);
+  }
+}
+
+Result<PostingsIterator> InvertedIndexReader::PostingsAt(
+    uint32_t offset, const Value& expected) const {
+  if (offset >= entries_.size()) {
+    return Status::Corruption("postings offset out of range");
+  }
+  Slice in(entries_.data() + offset, entries_.size() - offset);
+  S2_ASSIGN_OR_RETURN(Slice stored_value, GetLengthPrefixed(&in));
+  std::string expected_key;
+  expected.EncodeTo(&expected_key);
+  if (stored_value != Slice(expected_key)) {
+    // Hash collision in the global index: this postings list belongs to a
+    // different value.
+    return PostingsIterator();
+  }
+  return PostingsIterator::Open(in);
+}
+
+}  // namespace s2

@@ -1,0 +1,48 @@
+#include "index/key_lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace s2 {
+
+Status KeyLockManager::LockAll(TxnId txn, std::vector<std::string> keys,
+                               int timeout_ms) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::string> newly_acquired;
+  for (const std::string& key : keys) {
+    for (;;) {
+      auto it = owners_.find(key);
+      if (it == owners_.end()) {
+        owners_[key] = txn;
+        newly_acquired.push_back(key);
+        break;
+      }
+      if (it->second == txn) break;  // re-entrant
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // Roll back this call's acquisitions.
+        for (const std::string& k : newly_acquired) owners_.erase(k);
+        if (!newly_acquired.empty()) cv_.notify_all();
+        return Status::Aborted("unique key lock timeout");
+      }
+    }
+  }
+  auto& held = held_[txn];
+  held.insert(held.end(), newly_acquired.begin(), newly_acquired.end());
+  return Status::OK();
+}
+
+void KeyLockManager::UnlockAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const std::string& key : it->second) owners_.erase(key);
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+}  // namespace s2

@@ -1,0 +1,49 @@
+#ifndef S2_INDEX_KEY_LOCK_MANAGER_H_
+#define S2_INDEX_KEY_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace s2 {
+
+/// In-memory lock manager over arbitrary key values, used by uniqueness
+/// enforcement to serialize concurrent inserts of the same unique-key value
+/// (paper Section 4.1.2, step 1: "take locks on the unique key values for
+/// each row in the batch").
+///
+/// Keys are locked in sorted order (the caller passes the batch; sorting
+/// happens here), so two batches can never deadlock against each other.
+/// Waits time out into Aborted.
+class KeyLockManager {
+ public:
+  KeyLockManager() = default;
+
+  /// Locks every key in `keys` for `txn`. Re-entrant per txn. On timeout or
+  /// failure nothing remains held that wasn't already held before the call.
+  Status LockAll(TxnId txn, std::vector<std::string> keys,
+                 int timeout_ms = 1000);
+
+  /// Releases every key held by txn.
+  void UnlockAll(TxnId txn);
+
+  size_t num_locked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return owners_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, TxnId> owners_;
+  std::unordered_map<TxnId, std::vector<std::string>> held_;
+};
+
+}  // namespace s2
+
+#endif  // S2_INDEX_KEY_LOCK_MANAGER_H_

@@ -1,0 +1,180 @@
+#include "index/postings.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace s2 {
+
+namespace {
+constexpr uint32_t kGroupSize = 64;
+}  // namespace
+
+void EncodePostings(const std::vector<uint32_t>& rows, std::string* dst) {
+  // Layout: [count varint][num_groups varint]
+  //         [skip: num_groups * (first_row fixed32, delta_offset fixed32)]
+  //         [delta varints]
+  PutVarint64(dst, rows.size());
+  uint32_t num_groups =
+      static_cast<uint32_t>((rows.size() + kGroupSize - 1) / kGroupSize);
+  PutVarint64(dst, num_groups);
+
+  std::string deltas;
+  std::vector<std::pair<uint32_t, uint32_t>> skip;
+  skip.reserve(num_groups);
+  uint32_t prev = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i % kGroupSize == 0) {
+      skip.emplace_back(rows[i], static_cast<uint32_t>(deltas.size()));
+      PutVarint64(&deltas, rows[i]);  // group leader stored absolute
+    } else {
+      PutVarint64(&deltas, rows[i] - prev);
+    }
+    prev = rows[i];
+  }
+  for (auto [first_row, offset] : skip) {
+    PutFixed32(dst, first_row);
+    PutFixed32(dst, offset);
+  }
+  dst->append(deltas);
+}
+
+Result<PostingsIterator> PostingsIterator::Open(Slice data) {
+  PostingsIterator it;
+  Slice in = data;
+  S2_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&in));
+  S2_ASSIGN_OR_RETURN(uint64_t num_groups, GetVarint64(&in));
+  it.count_ = static_cast<uint32_t>(count);
+  it.num_groups_ = static_cast<uint32_t>(num_groups);
+  size_t skip_bytes = num_groups * 8;
+  if (in.size() < skip_bytes) {
+    return Status::Corruption("truncated postings skip table");
+  }
+  it.skip_ = in.data();
+  in.RemovePrefix(skip_bytes);
+  it.deltas_ = in;
+  if (count > 0) {
+    it.valid_ = true;
+    it.LoadGroup(0);
+    it.Next();  // position on the first posting
+  }
+  // Compute the encoded size: walk the last group to its end.
+  if (count > 0) {
+    PostingsIterator probe = it;
+    probe.LoadGroup(it.num_groups_ - 1);
+    uint32_t remaining = it.count_ - (it.num_groups_ - 1) * kGroupSize;
+    Slice cursor = probe.cursor_;
+    for (uint32_t i = 0; i < remaining; ++i) {
+      auto v = GetVarint64(&cursor);
+      if (!v.ok()) return Status::Corruption("truncated postings deltas");
+    }
+    it.encoded_size_ =
+        static_cast<size_t>(cursor.data() - data.data());
+  } else {
+    it.encoded_size_ = static_cast<size_t>(it.deltas_.data() - data.data());
+  }
+  return it;
+}
+
+void PostingsIterator::LoadGroup(uint32_t group) {
+  group_ = group;
+  in_group_ = 0;
+  index_ = group * kGroupSize;
+  uint32_t offset = DecodeFixed32(skip_ + group * 8 + 4);
+  cursor_ = Slice(deltas_.data() + offset, deltas_.size() - offset);
+  current_ = 0;  // leader delta is absolute
+}
+
+void PostingsIterator::Next() {
+  // Called with the iterator positioned *before* the posting to produce.
+  if (index_ >= count_) {
+    valid_ = false;
+    return;
+  }
+  if (in_group_ == kGroupSize) {
+    LoadGroup(group_ + 1);
+  }
+  auto delta = GetVarint64(&cursor_);
+  if (!delta.ok()) {
+    valid_ = false;
+    return;
+  }
+  current_ = in_group_ == 0 ? static_cast<uint32_t>(*delta)
+                            : current_ + static_cast<uint32_t>(*delta);
+  ++in_group_;
+  ++index_;
+}
+
+void PostingsIterator::SeekTo(uint32_t target) {
+  if (!valid_ || current_ >= target) return;
+  // Find the last group whose first_row <= target; if it's ahead of the
+  // current group, jump there.
+  uint32_t lo = group_, hi = num_groups_ - 1, best = group_;
+  while (lo <= hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    uint32_t first_row = DecodeFixed32(skip_ + mid * 8);
+    if (first_row <= target) {
+      best = mid;
+      if (mid == num_groups_ - 1) break;
+      lo = mid + 1;
+    } else {
+      if (mid == 0) break;
+      hi = mid - 1;
+    }
+  }
+  if (best > group_) {
+    LoadGroup(best);
+    Next();
+  }
+  while (valid_ && current_ < target) Next();
+}
+
+Status IntersectPostings(std::vector<PostingsIterator> its,
+                         std::vector<uint32_t>* out) {
+  if (its.empty()) return Status::OK();
+  for (const auto& it : its) {
+    if (!it.Valid()) return Status::OK();  // empty intersection
+  }
+  // Leapfrog: repeatedly seek every iterator to the current max.
+  for (;;) {
+    uint32_t target = its[0].row();
+    bool all_equal = true;
+    for (auto& it : its) {
+      if (it.row() != target) all_equal = false;
+      target = std::max(target, it.row());
+    }
+    if (all_equal) {
+      out->push_back(target);
+      for (auto& it : its) {
+        it.Next();
+        if (!it.Valid()) return Status::OK();
+      }
+      continue;
+    }
+    for (auto& it : its) {
+      it.SeekTo(target);
+      if (!it.Valid()) return Status::OK();
+    }
+  }
+}
+
+Status UnionPostings(std::vector<PostingsIterator> its,
+                     std::vector<uint32_t>* out) {
+  for (;;) {
+    uint32_t min = ~uint32_t{0};
+    bool any = false;
+    for (auto& it : its) {
+      if (it.Valid()) {
+        any = true;
+        min = std::min(min, it.row());
+      }
+    }
+    if (!any) return Status::OK();
+    out->push_back(min);
+    for (auto& it : its) {
+      if (it.Valid() && it.row() == min) it.Next();
+    }
+  }
+}
+
+}  // namespace s2

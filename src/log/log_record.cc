@@ -1,0 +1,24 @@
+#include "log/log_record.h"
+
+#include "common/coding.h"
+
+namespace s2 {
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, txn_id);
+  dst->push_back(static_cast<char>(type));
+  PutLengthPrefixed(dst, payload);
+}
+
+Result<LogRecord> LogRecord::DecodeFrom(Slice* input) {
+  LogRecord rec;
+  S2_ASSIGN_OR_RETURN(rec.txn_id, GetVarint64(input));
+  if (input->empty()) return Status::Corruption("truncated log record type");
+  rec.type = static_cast<LogRecordType>((*input)[0]);
+  input->RemovePrefix(1);
+  S2_ASSIGN_OR_RETURN(Slice payload, GetLengthPrefixed(input));
+  rec.payload = payload.ToString();
+  return rec;
+}
+
+}  // namespace s2

@@ -1,0 +1,44 @@
+#ifndef S2_LOG_LOG_RECORD_H_
+#define S2_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/types.h"
+
+namespace s2 {
+
+/// Log sequence number: byte offset in the partition's log stream. Data
+/// files are named after the LSN at which they were created so they can be
+/// considered as logically existing in the log stream (paper Section 3).
+using Lsn = uint64_t;
+
+/// Logical record kinds written by the storage layer. The log itself treats
+/// payloads as opaque bytes; these tags let recovery dispatch.
+enum class LogRecordType : uint8_t {
+  kInsertRows = 1,      // rows inserted into the in-memory rowstore
+  kDeleteRows = 2,      // rowstore rows deleted (by primary key)
+  kSegmentFlush = 3,    // rowstore rows converted into a columnstore segment
+  kMetadataUpdate = 4,  // segment delete-bitvector / metadata change
+  kSegmentMerge = 5,    // LSM merge installed new segments, dropped old
+  kCommit = 6,          // transaction commit marker
+  kAbort = 7,           // transaction abort marker
+  kDdl = 8,             // table created/dropped
+};
+
+/// One log record: transaction id, type tag, opaque payload.
+struct LogRecord {
+  TxnId txn_id = 0;
+  LogRecordType type = LogRecordType::kCommit;
+  std::string payload;
+
+  /// Frame format: [txn varint][type u8][payload length-prefixed].
+  void EncodeTo(std::string* dst) const;
+  static Result<LogRecord> DecodeFrom(Slice* input);
+};
+
+}  // namespace s2
+
+#endif  // S2_LOG_LOG_RECORD_H_

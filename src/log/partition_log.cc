@@ -1,0 +1,228 @@
+#include "log/partition_log.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/env.h"
+
+namespace s2 {
+
+namespace {
+
+constexpr uint32_t kPageMagic = 0x53326c67;  // "S2lg"
+constexpr size_t kPageHeaderSize = 12;       // magic + size + crc
+
+// Scans `bytes` and returns the length of the valid page prefix.
+size_t ValidPrefix(Slice bytes) {
+  size_t pos = 0;
+  while (bytes.size() - pos >= kPageHeaderSize) {
+    const char* p = bytes.data() + pos;
+    if (DecodeFixed32(p) != kPageMagic) break;
+    uint32_t payload_size = DecodeFixed32(p + 4);
+    uint32_t crc = DecodeFixed32(p + 8);
+    if (bytes.size() - pos - kPageHeaderSize < payload_size) break;
+    if (Crc32(p + kPageHeaderSize, static_cast<size_t>(payload_size)) != crc) break;
+    pos += kPageHeaderSize + payload_size;
+  }
+  return pos;
+}
+
+}  // namespace
+
+PartitionLog::PartitionLog(const LogOptions& options)
+    : options_(options), path_(options.dir + "/log") {}
+
+PartitionLog::~PartitionLog() = default;
+
+Result<std::unique_ptr<PartitionLog>> PartitionLog::Open(
+    const LogOptions& options) {
+  S2_RETURN_NOT_OK(CreateDirs(options.dir));
+  std::unique_ptr<PartitionLog> log(new PartitionLog(options));
+  if (FileExists(log->path_)) {
+    S2_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(log->path_));
+    size_t valid = ValidPrefix(bytes);
+    if (valid < bytes.size()) {
+      // Torn tail from a crash mid-append: drop it.
+      if (::truncate(log->path_.c_str(),
+                     static_cast<off_t>(valid)) != 0) {
+        return Status::IOError("truncate " + log->path_);
+      }
+    }
+    log->sealed_end_ = valid;
+    log->page_start_ = valid;
+    log->durable_ = valid;
+  }
+  return log;
+}
+
+Lsn PartitionLog::Append(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn lsn = page_start_ + kPageHeaderSize + page_buf_.size();
+  record.EncodeTo(&page_buf_);
+  if (page_buf_.size() >= options_.page_size) {
+    // Soft page limit: seal and replicate early so replicas receive large
+    // transactions' data before commit. Durability failures surface at
+    // Commit; the page stays pending for redelivery until acked.
+    (void)SealPageLocked();
+  }
+  return lsn;
+}
+
+Status PartitionLog::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kCommit;
+  rec.EncodeTo(&page_buf_);
+  return SealPageLocked();
+}
+
+void PartitionLog::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kAbort;
+  rec.EncodeTo(&page_buf_);
+}
+
+Status PartitionLog::SealPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SealPageLocked();
+}
+
+Status PartitionLog::SealPageLocked() {
+  // Redeliver any previously unacked pages first: durability advances only
+  // through a contiguous acked prefix.
+  for (auto it = pending_pages_.begin(); it != pending_pages_.end();) {
+    bool acked = sinks_.empty();
+    for (ReplicationSink* sink : sinks_) {
+      if (sink->OnPage(it->first, Slice(it->second))) acked = true;
+    }
+    if (!acked) break;
+    it = pending_pages_.erase(it);
+  }
+
+  if (!page_buf_.empty()) {
+    std::string page;
+    page.reserve(kPageHeaderSize + page_buf_.size());
+    PutFixed32(&page, kPageMagic);
+    PutFixed32(&page, static_cast<uint32_t>(page_buf_.size()));
+    PutFixed32(&page, Crc32(page_buf_.data(), page_buf_.size()));
+    page.append(page_buf_);
+
+    Lsn page_lsn = page_start_;
+    S2_RETURN_NOT_OK(AppendToFile(path_, page, options_.sync_to_disk));
+    sealed_end_ = page_start_ + page.size();
+    page_start_ = sealed_end_;
+    page_buf_.clear();
+
+    // Synchronous in-memory replication: the page is durable once one sink
+    // acks (or immediately when the partition has no replicas configured).
+    bool acked = sinks_.empty();
+    for (ReplicationSink* sink : sinks_) {
+      if (sink->OnPage(page_lsn, Slice(page))) acked = true;
+    }
+    if (!acked) pending_pages_.emplace_back(page_lsn, std::move(page));
+  }
+
+  durable_ = pending_pages_.empty() ? sealed_end_ : pending_pages_.front().first;
+  if (!pending_pages_.empty()) {
+    return Status::Unavailable("no replica acked log page");
+  }
+  return Status::OK();
+}
+
+Status PartitionLog::AddSink(ReplicationSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Catch the sink up with all sealed pages (they parse as a page stream).
+  if (sealed_end_ > 0) {
+    S2_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path_));
+    sink->OnPage(0, Slice(bytes.data(), sealed_end_));
+  }
+  sinks_.push_back(sink);
+  return Status::OK();
+}
+
+void PartitionLog::RemoveSink(ReplicationSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+Lsn PartitionLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_;
+}
+
+Lsn PartitionLog::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_start_ + kPageHeaderSize + page_buf_.size();
+}
+
+Status PartitionLog::Replay(
+    Lsn from, Lsn to,
+    const std::function<Status(Lsn, const LogRecord&)>& cb) const {
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!FileExists(path_)) return Status::OK();
+    S2_ASSIGN_OR_RETURN(bytes, ReadFileToString(path_));
+    bytes.resize(std::min<size_t>(bytes.size(), sealed_end_));
+  }
+  return ParseStream(Slice(bytes), 0,
+                     [&](Lsn lsn, const LogRecord& rec) -> Status {
+                       if (lsn < from) return Status::OK();
+                       if (to != 0 && lsn >= to) return Status::OK();
+                       return cb(lsn, rec);
+                     });
+}
+
+Result<std::string> PartitionLog::ReadRange(Lsn from, Lsn to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (to > sealed_end_ || from > to) {
+    return Status::InvalidArgument("log range outside sealed region");
+  }
+  S2_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path_));
+  return bytes.substr(from, to - from);
+}
+
+size_t PartitionLog::CompletePagePrefix(Slice bytes) {
+  return ValidPrefix(bytes);
+}
+
+Status PartitionLog::ParseStream(
+    Slice bytes, Lsn base_lsn,
+    const std::function<Status(Lsn, const LogRecord&)>& cb) {
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kPageHeaderSize) {
+      return Status::Corruption("truncated log page header");
+    }
+    const char* p = bytes.data() + pos;
+    if (DecodeFixed32(p) != kPageMagic) {
+      return Status::Corruption("bad log page magic");
+    }
+    uint32_t payload_size = DecodeFixed32(p + 4);
+    uint32_t crc = DecodeFixed32(p + 8);
+    if (bytes.size() - pos - kPageHeaderSize < payload_size) {
+      return Status::Corruption("truncated log page");
+    }
+    if (Crc32(p + kPageHeaderSize, static_cast<size_t>(payload_size)) != crc) {
+      return Status::Corruption("log page crc mismatch");
+    }
+    Slice payload(p + kPageHeaderSize, payload_size);
+    Lsn record_lsn = base_lsn + pos + kPageHeaderSize;
+    while (!payload.empty()) {
+      const char* rec_begin = payload.data();
+      S2_ASSIGN_OR_RETURN(LogRecord rec, LogRecord::DecodeFrom(&payload));
+      S2_RETURN_NOT_OK(cb(record_lsn, rec));
+      record_lsn += static_cast<Lsn>(payload.data() - rec_begin);
+    }
+    pos += kPageHeaderSize + payload_size;
+  }
+  return Status::OK();
+}
+
+}  // namespace s2

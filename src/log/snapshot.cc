@@ -1,0 +1,81 @@
+#include "log/snapshot.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/env.h"
+
+namespace s2 {
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string SnapshotStore::FileName(Lsn lsn) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "snap_%020" PRIu64, lsn);
+  return buf;
+}
+
+Result<Lsn> SnapshotStore::ParseFileName(const std::string& name) {
+  uint64_t lsn = 0;
+  if (sscanf(name.c_str(), "snap_%020" SCNu64, &lsn) != 1) {
+    return Status::InvalidArgument("not a snapshot file: " + name);
+  }
+  return lsn;
+}
+
+Status SnapshotStore::Write(Lsn lsn, const std::string& state) {
+  S2_RETURN_NOT_OK(CreateDirs(dir_));
+  std::string data = state;
+  PutFixed32(&data, Crc32(state.data(), state.size()));
+  return WriteFileAtomic(dir_ + "/" + FileName(lsn), data);
+}
+
+Result<std::pair<Lsn, std::string>> SnapshotStore::LatestAtOrBelow(
+    Lsn lsn) const {
+  S2_ASSIGN_OR_RETURN(std::vector<Lsn> lsns, List());
+  Lsn best = 0;
+  bool found = false;
+  for (Lsn s : lsns) {
+    if (s <= lsn && (!found || s > best)) {
+      best = s;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no snapshot at or below given lsn");
+  S2_ASSIGN_OR_RETURN(std::string data,
+                      ReadFileToString(dir_ + "/" + FileName(best)));
+  if (data.size() < 4) return Status::Corruption("snapshot too small");
+  uint32_t crc = DecodeFixed32(data.data() + data.size() - 4);
+  data.resize(data.size() - 4);
+  if (Crc32(data.data(), data.size()) != crc) {
+    return Status::Corruption("snapshot crc mismatch");
+  }
+  return std::make_pair(best, std::move(data));
+}
+
+Result<std::vector<Lsn>> SnapshotStore::List() const {
+  std::vector<Lsn> out;
+  if (!FileExists(dir_)) return out;
+  S2_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  for (const std::string& name : names) {
+    auto lsn = ParseFileName(name);
+    if (lsn.ok()) out.push_back(*lsn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status SnapshotStore::TrimBelow(Lsn lsn) {
+  S2_ASSIGN_OR_RETURN(std::vector<Lsn> lsns, List());
+  for (Lsn s : lsns) {
+    if (s < lsn) {
+      S2_RETURN_NOT_OK(RemoveFile(dir_ + "/" + FileName(s)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace s2

@@ -1,0 +1,49 @@
+#ifndef S2_LOG_SNAPSHOT_H_
+#define S2_LOG_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "log/log_record.h"
+
+namespace s2 {
+
+/// Stores rowstore snapshot files keyed by the log position they capture.
+/// Recovery replays from the newest snapshot at or below the target LSN and
+/// then applies the log from there ("fetch and replay the data from the
+/// first snapshot file before LP in the log stream", paper Section 3.2).
+///
+/// Files live in a local directory as `snap_<lsn, zero padded>`, each
+/// guarded by a CRC footer. The separated-storage uploader mirrors them to
+/// blob storage.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir);
+
+  /// Writes a snapshot of serialized state taken at `lsn`.
+  Status Write(Lsn lsn, const std::string& state);
+
+  /// Newest snapshot with snapshot_lsn <= lsn (lsn == max means latest).
+  /// Returns (snapshot_lsn, state); NotFound when none qualify.
+  Result<std::pair<Lsn, std::string>> LatestAtOrBelow(Lsn lsn) const;
+
+  /// All snapshot LSNs, ascending.
+  Result<std::vector<Lsn>> List() const;
+
+  /// Drops snapshots strictly below `lsn` (local retention trimming; blob
+  /// storage keeps history for PITR).
+  Status TrimBelow(Lsn lsn);
+
+  const std::string& dir() const { return dir_; }
+
+  static std::string FileName(Lsn lsn);
+  static Result<Lsn> ParseFileName(const std::string& name);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace s2
+
+#endif  // S2_LOG_SNAPSHOT_H_

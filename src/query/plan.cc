@@ -1,0 +1,462 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace s2 {
+
+namespace {
+constexpr size_t kBatchRows = 1024;
+}  // namespace
+
+Result<std::vector<Row>> RunPlan(PlanNode* plan, QueryContext* ctx) {
+  std::vector<Row> out;
+  S2_RETURN_NOT_OK(plan->Execute(ctx, [&](std::vector<Row>&& batch) {
+    for (Row& row : batch) out.push_back(std::move(row));
+    return true;
+  }));
+  return out;
+}
+
+// --- ScanOp ---
+
+ScanOp::ScanOp(std::string table, std::vector<int> projection,
+               std::unique_ptr<FilterNode> filter, ExprPtr post_filter)
+    : table_(std::move(table)),
+      projection_(std::move(projection)),
+      filter_(std::move(filter)),
+      post_filter_(std::move(post_filter)) {}
+
+Status ScanOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  S2_ASSIGN_OR_RETURN(UnifiedTable * table, ctx->partition->GetTable(table_));
+  ScanOptions options = ctx->scan_options;
+  options.projection = projection_;
+  options.filter = filter_.get();
+  TableScanner scanner(table, options);
+  bool keep_going = true;
+  Status s = scanner.Scan(ctx->txn, ctx->read_ts, [&](const ScanBatch& batch) {
+    std::vector<Row> rows;
+    rows.reserve(batch.num_rows);
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      Row row;
+      row.reserve(batch.columns.size());
+      for (const ColumnVector& col : batch.columns) {
+        row.push_back(col.GetValue(i));
+      }
+      if (post_filter_ != nullptr) {
+        Value pass = post_filter_->Eval(row);
+        if (pass.is_null() || pass.as_int() == 0) continue;
+      }
+      rows.push_back(std::move(row));
+    }
+    if (rows.empty()) return true;
+    keep_going = sink(std::move(rows));
+    return keep_going;
+  });
+  stats_ = scanner.stats();
+  return s;
+}
+
+// --- FilterOp ---
+
+FilterOp::FilterOp(PlanPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  return child_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    std::vector<Row> out;
+    out.reserve(batch.size());
+    for (Row& row : batch) {
+      Value pass = predicate_->Eval(row);
+      if (!pass.is_null() && pass.as_int() != 0) out.push_back(std::move(row));
+    }
+    if (out.empty()) return true;
+    return sink(std::move(out));
+  });
+}
+
+// --- ProjectOp ---
+
+ProjectOp::ProjectOp(PlanPtr child, std::vector<ExprPtr> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  return child_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    std::vector<Row> out;
+    out.reserve(batch.size());
+    for (const Row& row : batch) {
+      Row projected;
+      projected.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) projected.push_back(e->Eval(row));
+      out.push_back(std::move(projected));
+    }
+    return sink(std::move(out));
+  });
+}
+
+// --- HashJoinOp ---
+
+HashJoinOp::HashJoinOp(PlanPtr left, PlanPtr right,
+                       std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys, JoinType type,
+                       size_t right_width)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      type_(type),
+      right_width_(right_width) {}
+
+Status HashJoinOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  // Build phase on the right child.
+  std::unordered_map<std::string, std::vector<Row>> table;
+  S2_RETURN_NOT_OK(right_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    for (Row& row : batch) {
+      Row key_values;
+      key_values.reserve(right_keys_.size());
+      bool has_null = false;
+      for (const ExprPtr& e : right_keys_) {
+        key_values.push_back(e->Eval(row));
+        if (key_values.back().is_null()) has_null = true;
+      }
+      if (has_null) continue;  // NULL keys never match
+      table[EncodeKey(key_values)].push_back(std::move(row));
+    }
+    return true;
+  }));
+
+  // Probe phase on the left child.
+  std::vector<Row> out;
+  bool keep_going = true;
+  Status s = left_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    for (Row& row : batch) {
+      Row key_values;
+      key_values.reserve(left_keys_.size());
+      bool has_null = false;
+      for (const ExprPtr& e : left_keys_) {
+        key_values.push_back(e->Eval(row));
+        if (key_values.back().is_null()) has_null = true;
+      }
+      auto it = has_null ? table.end() : table.find(EncodeKey(key_values));
+      bool matched = it != table.end();
+      switch (type_) {
+        case JoinType::kSemi:
+          if (matched) out.push_back(std::move(row));
+          break;
+        case JoinType::kAnti:
+          if (!matched) out.push_back(std::move(row));
+          break;
+        case JoinType::kInner:
+        case JoinType::kLeft:
+          if (matched) {
+            for (const Row& right_row : it->second) {
+              Row joined = row;
+              joined.insert(joined.end(), right_row.begin(), right_row.end());
+              out.push_back(std::move(joined));
+            }
+          } else if (type_ == JoinType::kLeft) {
+            Row joined = std::move(row);
+            for (size_t i = 0; i < right_width_; ++i) {
+              joined.push_back(Value::Null());
+            }
+            out.push_back(std::move(joined));
+          }
+          break;
+      }
+      if (out.size() >= kBatchRows) {
+        keep_going = sink(std::move(out));
+        out.clear();
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  });
+  S2_RETURN_NOT_OK(s);
+  if (keep_going && !out.empty()) sink(std::move(out));
+  return Status::OK();
+}
+
+// --- IndexJoinOp ---
+
+IndexJoinOp::IndexJoinOp(std::string table, std::vector<int> projection,
+                         int probe_col, PlanPtr build, ExprPtr build_key,
+                         std::unique_ptr<FilterNode> table_filter,
+                         double max_key_fraction)
+    : table_(std::move(table)),
+      projection_(std::move(projection)),
+      probe_col_(probe_col),
+      build_(std::move(build)),
+      build_key_(std::move(build_key)),
+      table_filter_(std::move(table_filter)),
+      max_key_fraction_(max_key_fraction) {}
+
+Status IndexJoinOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  S2_ASSIGN_OR_RETURN(UnifiedTable * table, ctx->partition->GetTable(table_));
+
+  // Materialize the build side, grouped by key.
+  std::unordered_map<std::string, std::vector<Row>> build_rows;
+  std::vector<std::pair<std::string, Value>> distinct_keys;
+  S2_RETURN_NOT_OK(build_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    for (Row& row : batch) {
+      Value key = build_key_->Eval(row);
+      if (key.is_null()) continue;
+      std::string encoded;
+      key.EncodeTo(&encoded);
+      auto [it, inserted] = build_rows.try_emplace(encoded);
+      if (inserted) distinct_keys.emplace_back(encoded, key);
+      it->second.push_back(std::move(row));
+    }
+    return true;
+  }));
+  stats_.distinct_keys = distinct_keys.size();
+
+  uint64_t table_rows = table->ApproxRowCount();
+  bool use_index =
+      static_cast<double>(distinct_keys.size()) <=
+      max_key_fraction_ * static_cast<double>(table_rows);
+  stats_.used_index = use_index;
+
+  std::vector<Row> out;
+  bool keep_going = true;
+  auto emit = [&](const Row& table_row,
+                  const std::vector<Row>& matches) -> bool {
+    for (const Row& build_row : matches) {
+      Row joined;
+      joined.reserve(projection_.size() + build_row.size());
+      for (int c : projection_) joined.push_back(table_row[c]);
+      joined.insert(joined.end(), build_row.begin(), build_row.end());
+      out.push_back(std::move(joined));
+    }
+    if (out.size() >= kBatchRows) {
+      keep_going = sink(std::move(out));
+      out.clear();
+    }
+    return keep_going;
+  };
+
+  if (use_index) {
+    // Probe the secondary index once per distinct build key: the join
+    // index filter, with zero false positives (unlike a bloom filter).
+    for (const auto& [encoded, key] : distinct_keys) {
+      ++stats_.index_probes;
+      bool stopped = false;
+      S2_RETURN_NOT_OK(table->LookupByIndex(
+          ctx->txn, ctx->read_ts, {probe_col_}, {key},
+          [&](const Row& row, const RowLocation&) {
+            if (table_filter_ != nullptr && !table_filter_->EvalRow(row)) {
+              return true;
+            }
+            if (!emit(row, build_rows.at(encoded))) {
+              stopped = true;
+              return false;
+            }
+            return true;
+          }));
+      if (stopped) return Status::OK();
+    }
+  } else {
+    // Fallback: full scan of the table, hash probe per row.
+    ScanOptions options = ctx->scan_options;
+    options.filter = table_filter_.get();
+    TableScanner scanner(table, options);  // full-row projection for filter
+    Status s = scanner.Scan(
+        ctx->txn, ctx->read_ts, [&](const ScanBatch& batch) {
+          for (size_t i = 0; i < batch.num_rows; ++i) {
+            Row row;
+            row.reserve(batch.columns.size());
+            for (const ColumnVector& col : batch.columns) {
+              row.push_back(col.GetValue(i));
+            }
+            std::string encoded;
+            row[probe_col_].EncodeTo(&encoded);
+            auto it = build_rows.find(encoded);
+            if (it == build_rows.end()) continue;
+            if (!emit(row, it->second)) return false;
+          }
+          return true;
+        });
+    S2_RETURN_NOT_OK(s);
+  }
+  if (keep_going && !out.empty()) sink(std::move(out));
+  return Status::OK();
+}
+
+// --- AggregateOp ---
+
+AggregateOp::AggregateOp(PlanPtr child, std::vector<ExprPtr> group_by,
+                         std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {}
+
+namespace {
+
+struct AggState {
+  Row group;
+  std::vector<double> sums;
+  std::vector<uint64_t> counts;        // per agg: non-null input count
+  std::vector<Value> mins;
+  std::vector<Value> maxs;
+  std::vector<std::unordered_set<std::string>> distincts;
+  uint64_t star_count = 0;  // rows in group
+};
+
+}  // namespace
+
+Status AggregateOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  std::unordered_map<std::string, AggState> groups;
+  S2_RETURN_NOT_OK(child_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    for (const Row& row : batch) {
+      Row group_values;
+      group_values.reserve(group_by_.size());
+      for (const ExprPtr& e : group_by_) group_values.push_back(e->Eval(row));
+      std::string key = EncodeKey(group_values);
+      auto [it, inserted] = groups.try_emplace(key);
+      AggState& state = it->second;
+      if (inserted) {
+        state.group = std::move(group_values);
+        state.sums.assign(aggs_.size(), 0.0);
+        state.counts.assign(aggs_.size(), 0);
+        state.mins.assign(aggs_.size(), Value::Null());
+        state.maxs.assign(aggs_.size(), Value::Null());
+        state.distincts.resize(aggs_.size());
+      }
+      ++state.star_count;
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        const AggSpec& spec = aggs_[a];
+        if (spec.expr == nullptr) continue;  // COUNT(*)
+        Value v = spec.expr->Eval(row);
+        if (v.is_null()) continue;
+        ++state.counts[a];
+        switch (spec.kind) {
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            state.sums[a] += v.AsNumeric();
+            break;
+          case AggKind::kMin:
+            if (state.mins[a].is_null() || v.Compare(state.mins[a]) < 0) {
+              state.mins[a] = v;
+            }
+            break;
+          case AggKind::kMax:
+            if (state.maxs[a].is_null() || v.Compare(state.maxs[a]) > 0) {
+              state.maxs[a] = v;
+            }
+            break;
+          case AggKind::kCountDistinct: {
+            std::string encoded;
+            v.EncodeTo(&encoded);
+            state.distincts[a].insert(std::move(encoded));
+            break;
+          }
+          case AggKind::kCount:
+            break;
+        }
+      }
+    }
+    return true;
+  }));
+
+  // With no GROUP BY, SQL semantics produce one row even for empty input.
+  if (group_by_.empty() && groups.empty()) {
+    groups.try_emplace("");
+    AggState& state = groups.begin()->second;
+    state.sums.assign(aggs_.size(), 0.0);
+    state.counts.assign(aggs_.size(), 0);
+    state.mins.assign(aggs_.size(), Value::Null());
+    state.maxs.assign(aggs_.size(), Value::Null());
+    state.distincts.resize(aggs_.size());
+  }
+
+  std::vector<Row> out;
+  for (auto& [key, state] : groups) {
+    Row row = std::move(state.group);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      switch (spec.kind) {
+        case AggKind::kCount:
+          row.push_back(Value(static_cast<int64_t>(
+              spec.expr == nullptr ? state.star_count : state.counts[a])));
+          break;
+        case AggKind::kCountDistinct:
+          row.push_back(
+              Value(static_cast<int64_t>(state.distincts[a].size())));
+          break;
+        case AggKind::kSum:
+          row.push_back(state.counts[a] == 0 ? Value::Null()
+                                             : Value(state.sums[a]));
+          break;
+        case AggKind::kAvg:
+          row.push_back(state.counts[a] == 0
+                            ? Value::Null()
+                            : Value(state.sums[a] /
+                                    static_cast<double>(state.counts[a])));
+          break;
+        case AggKind::kMin:
+          row.push_back(state.mins[a]);
+          break;
+        case AggKind::kMax:
+          row.push_back(state.maxs[a]);
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+    if (out.size() >= kBatchRows) {
+      if (!sink(std::move(out))) return Status::OK();
+      out.clear();
+    }
+  }
+  if (!out.empty()) sink(std::move(out));
+  return Status::OK();
+}
+
+// --- SortOp ---
+
+SortOp::SortOp(PlanPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  std::vector<Row> rows;
+  S2_RETURN_NOT_OK(child_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    for (Row& row : batch) rows.push_back(std::move(row));
+    return true;
+  }));
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (const SortKey& key : keys_) {
+      int cmp = key.expr->Eval(a).Compare(key.expr->Eval(b));
+      if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  sink(std::move(rows));
+  return Status::OK();
+}
+
+// --- LimitOp ---
+
+LimitOp::LimitOp(PlanPtr child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Execute(QueryContext* ctx, const BatchSink& sink) {
+  size_t emitted = 0;
+  return child_->Execute(ctx, [&](std::vector<Row>&& batch) {
+    if (emitted >= limit_) return false;
+    if (emitted + batch.size() > limit_) batch.resize(limit_ - emitted);
+    emitted += batch.size();
+    bool keep_going = sink(std::move(batch));
+    return keep_going && emitted < limit_;
+  });
+}
+
+// --- ValuesOp ---
+
+ValuesOp::ValuesOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+Status ValuesOp::Execute(QueryContext* /*ctx*/, const BatchSink& sink) {
+  std::vector<Row> copy = rows_;
+  sink(std::move(copy));
+  return Status::OK();
+}
+
+}  // namespace s2

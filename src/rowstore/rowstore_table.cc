@@ -1,0 +1,438 @@
+#include "rowstore/rowstore_table.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/coding.h"
+
+namespace s2 {
+
+
+RowStoreTable::RowStoreTable(Schema schema, std::vector<int> pk_cols)
+    : schema_(std::move(schema)), pk_cols_(std::move(pk_cols)) {}
+
+RowStoreTable::~RowStoreTable() = default;
+
+void RowStoreTable::AddSecondaryIndex(std::vector<int> cols) {
+  SecondaryIndex index;
+  index.cols = std::move(cols);
+  index.list = std::make_unique<SkipList>();
+  secondaries_.push_back(std::move(index));
+}
+
+std::string RowStoreTable::PkFromRow(const Row& row) const {
+  std::string key;
+  for (int c : pk_cols_) row[c].EncodeTo(&key);
+  return key;
+}
+
+Status RowStoreTable::LockRow(SkipList::Node* node, TxnId txn) const {
+  // Spin briefly, then sleep-wait until the timeout. Timing out into
+  // Aborted is the deadlock-avoidance policy: callers retry the
+  // transaction.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(lock_timeout_ms_);
+  for (int spin = 0;; ++spin) {
+    uint64_t expected = 0;
+    if (node->lock_owner.compare_exchange_weak(expected, txn,
+                                               std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      const_cast<RowStoreTable*>(this)->pending_[txn].push_back(node);
+      return Status::OK();
+    }
+    if (expected == txn) return Status::OK();  // re-entrant
+    if (spin < 128) {
+      std::this_thread::yield();
+    } else {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::Aborted("row lock timeout");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+RowVersion* RowStoreTable::VisibleVersion(const SkipList::Node* node,
+                                          TxnId txn, Timestamp read_ts) {
+  for (RowVersion* v = node->versions.load(std::memory_order_acquire);
+       v != nullptr; v = v->next) {
+    Timestamp ts = v->commit_ts.load(std::memory_order_acquire);
+    if (ts == kTsAborted) continue;
+    if (v->txn_id == txn) return v;  // own write, committed or not
+    if (ts != kTsUncommitted && ts <= read_ts) return v;
+  }
+  return nullptr;
+}
+
+Status RowStoreTable::WriteVersion(TxnId txn, Timestamp read_ts,
+                                   const std::string& pk, Row data,
+                                   bool deleted, bool must_exist,
+                                   bool must_not_exist, bool system,
+                                   bool at_latest) {
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
+  bool created = false;
+  SkipList::Node* node = primary_.GetOrInsert(pk, &created);
+  S2_RETURN_NOT_OK(LockRow(node, txn));
+
+  // Holding the row lock, the newest non-aborted version is either ours or
+  // committed. Find the newest non-aborted version.
+  RowVersion* newest = nullptr;
+  for (RowVersion* v = node->versions.load(std::memory_order_acquire);
+       v != nullptr; v = v->next) {
+    if (v->commit_ts.load(std::memory_order_acquire) != kTsAborted) {
+      newest = v;
+      break;
+    }
+  }
+  if (newest != nullptr && newest->txn_id != txn) {
+    Timestamp ts = newest->commit_ts.load(std::memory_order_acquire);
+    bool conflicts = ts != kTsUncommitted && ts > read_ts;
+    if (at_latest) {
+      // Move-transaction aware conflict rule: only a *non-system* version
+      // committed after the snapshot is a real conflicting write; a newer
+      // move copy carries unchanged logical content (paper Section 4.2).
+      conflicts = false;
+      for (RowVersion* v = node->versions.load(std::memory_order_acquire);
+           v != nullptr; v = v->next) {
+        Timestamp vts = v->commit_ts.load(std::memory_order_acquire);
+        if (vts == kTsAborted || vts == kTsUncommitted) continue;
+        if (vts <= read_ts) break;
+        if (!v->system) {
+          conflicts = true;
+          break;
+        }
+      }
+    }
+    if (conflicts) {
+      // Someone committed this row after our snapshot: first-committer-wins.
+      return Status::Aborted("write-write conflict");
+    }
+  }
+  bool exists = newest != nullptr && !newest->deleted;
+  if (must_not_exist && exists) {
+    return Status::AlreadyExists("duplicate primary key");
+  }
+  if (must_exist && !exists) {
+    return Status::NotFound("no row with given primary key");
+  }
+
+  auto* version = new RowVersion();
+  version->txn_id = txn;
+  version->deleted = deleted;
+  version->system = system;
+  version->data = std::move(data);
+  version->next = node->versions.load(std::memory_order_relaxed);
+  node->versions.store(version, std::memory_order_release);
+
+  if (!deleted) IndexRow(version->data, pk);
+  return Status::OK();
+}
+
+void RowStoreTable::IndexRow(const Row& row, const std::string& pk) {
+  for (SecondaryIndex& index : secondaries_) {
+    std::string key;
+    for (int c : index.cols) row[c].EncodeTo(&key);
+    key.append(pk);
+    bool created = false;
+    SkipList::Node* node = index.list->GetOrInsert(key, &created);
+    if (created) {
+      // Secondary entries carry the pk values; visibility is re-checked
+      // against the primary chain at seek time, so the entry itself is
+      // immediately visible.
+      auto* version = new RowVersion();
+      version->commit_ts.store(1, std::memory_order_relaxed);
+      Row pk_row;
+      Slice in(pk);
+      while (!in.empty()) {
+        auto value = Value::DecodeFrom(&in);
+        if (!value.ok()) break;
+        pk_row.push_back(std::move(*value));
+      }
+      version->data = std::move(pk_row);
+      version->next = node->versions.load(std::memory_order_relaxed);
+      node->versions.store(version, std::memory_order_release);
+    }
+  }
+}
+
+Status RowStoreTable::Insert(TxnId txn, Timestamp read_ts, const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  return WriteVersion(txn, read_ts, PkFromRow(row), row, /*deleted=*/false,
+                      /*must_exist=*/false, /*must_not_exist=*/true);
+}
+
+Status RowStoreTable::InsertMoved(TxnId txn, const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  return WriteVersion(txn, kTsMax, PkFromRow(row), row, /*deleted=*/false,
+                      /*must_exist=*/false, /*must_not_exist=*/true,
+                      /*system=*/true, /*at_latest=*/true);
+}
+
+Status RowStoreTable::DeleteLatest(TxnId txn, Timestamp read_ts,
+                                   const Row& pk) {
+  std::string key;
+  for (const Value& v : pk) v.EncodeTo(&key);
+  return WriteVersion(txn, read_ts, key, Row(), /*deleted=*/true,
+                      /*must_exist=*/true, /*must_not_exist=*/false,
+                      /*system=*/false, /*at_latest=*/true);
+}
+
+Status RowStoreTable::UpdateLatest(TxnId txn, Timestamp read_ts, const Row& pk,
+                                   const Row& new_row) {
+  if (new_row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  std::string key;
+  for (const Value& v : pk) v.EncodeTo(&key);
+  if (PkFromRow(new_row) != key) {
+    return Status::InvalidArgument("update must not change the primary key");
+  }
+  return WriteVersion(txn, read_ts, key, new_row, /*deleted=*/false,
+                      /*must_exist=*/true, /*must_not_exist=*/false,
+                      /*system=*/false, /*at_latest=*/true);
+}
+
+Status RowStoreTable::Delete(TxnId txn, Timestamp read_ts, const Row& pk) {
+  std::string key;
+  for (const Value& v : pk) v.EncodeTo(&key);
+  return WriteVersion(txn, read_ts, key, Row(), /*deleted=*/true,
+                      /*must_exist=*/true, /*must_not_exist=*/false);
+}
+
+Status RowStoreTable::Update(TxnId txn, Timestamp read_ts, const Row& pk,
+                             const Row& new_row) {
+  if (new_row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  std::string key;
+  for (const Value& v : pk) v.EncodeTo(&key);
+  if (PkFromRow(new_row) != key) {
+    return Status::InvalidArgument("update must not change the primary key");
+  }
+  return WriteVersion(txn, read_ts, key, new_row, /*deleted=*/false,
+                      /*must_exist=*/true, /*must_not_exist=*/false);
+}
+
+Result<Row> RowStoreTable::Get(TxnId txn, Timestamp read_ts,
+                               const Row& pk) const {
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
+  std::string key;
+  for (const Value& v : pk) v.EncodeTo(&key);
+  SkipList::Node* node = primary_.Find(key);
+  if (node == nullptr) return Status::NotFound("no row");
+  RowVersion* v = VisibleVersion(node, txn, read_ts);
+  if (v == nullptr || v->deleted) return Status::NotFound("no visible row");
+  return v->data;
+}
+
+Status RowStoreTable::IndexSeek(
+    int index_id, TxnId txn, Timestamp read_ts, const Row& key,
+    const std::function<bool(const Row&)>& cb) const {
+  if (index_id < 0 || index_id >= static_cast<int>(secondaries_.size())) {
+    return Status::InvalidArgument("bad secondary index id");
+  }
+  const SecondaryIndex& index = secondaries_[index_id];
+  if (key.size() != index.cols.size()) {
+    return Status::InvalidArgument("index key arity mismatch");
+  }
+  std::string prefix;
+  for (const Value& v : key) v.EncodeTo(&prefix);
+
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
+  for (SkipList::Node* node = index.list->Seek(prefix); node != nullptr;
+       node = SkipList::Next(node)) {
+    Slice node_key(node->key);
+    if (node_key.size() < prefix.size() ||
+        memcmp(node_key.data(), prefix.data(), prefix.size()) != 0) {
+      break;
+    }
+    RowVersion* entry = node->versions.load(std::memory_order_acquire);
+    if (entry == nullptr) continue;
+    // Re-check against the primary: the row must be visible and must still
+    // match the index key (entries are not removed on update/delete).
+    std::string pk_encoded(node_key.data() + prefix.size(),
+                           node_key.size() - prefix.size());
+    SkipList::Node* primary_node = primary_.Find(pk_encoded);
+    if (primary_node == nullptr) continue;
+    RowVersion* v = VisibleVersion(primary_node, txn, read_ts);
+    if (v == nullptr || v->deleted) continue;
+    bool still_matches = true;
+    std::string current_key;
+    for (int c : index.cols) v->data[c].EncodeTo(&current_key);
+    if (current_key != prefix) still_matches = false;
+    if (still_matches && !cb(v->data)) break;
+  }
+  return Status::OK();
+}
+
+void RowStoreTable::Scan(TxnId txn, Timestamp read_ts,
+                         const std::function<bool(const Row&)>& cb) const {
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
+  for (SkipList::Node* node = primary_.First(); node != nullptr;
+       node = SkipList::Next(node)) {
+    RowVersion* v = VisibleVersion(node, txn, read_ts);
+    if (v == nullptr || v->deleted) continue;
+    if (!cb(v->data)) break;
+  }
+}
+
+void RowStoreTable::ScanFrom(const Row& pk_prefix, TxnId txn,
+                             Timestamp read_ts,
+                             const std::function<bool(const Row&)>& cb) const {
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
+  std::string start;
+  for (const Value& v : pk_prefix) v.EncodeTo(&start);
+  for (SkipList::Node* node = primary_.Seek(start); node != nullptr;
+       node = SkipList::Next(node)) {
+    RowVersion* v = VisibleVersion(node, txn, read_ts);
+    if (v == nullptr || v->deleted) continue;
+    if (!cb(v->data)) break;
+  }
+}
+
+void RowStoreTable::CommitTxn(TxnId txn, Timestamp commit_ts) {
+  std::vector<SkipList::Node*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    nodes = std::move(it->second);
+    pending_.erase(it);
+  }
+  for (SkipList::Node* node : nodes) {
+    for (RowVersion* v = node->versions.load(std::memory_order_acquire);
+         v != nullptr; v = v->next) {
+      if (v->txn_id == txn &&
+          v->commit_ts.load(std::memory_order_relaxed) == kTsUncommitted) {
+        v->commit_ts.store(commit_ts, std::memory_order_release);
+      }
+    }
+    uint64_t expected = txn;
+    node->lock_owner.compare_exchange_strong(expected, 0,
+                                             std::memory_order_release);
+  }
+}
+
+void RowStoreTable::AbortTxn(TxnId txn) {
+  std::vector<SkipList::Node*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    nodes = std::move(it->second);
+    pending_.erase(it);
+  }
+  for (SkipList::Node* node : nodes) {
+    for (RowVersion* v = node->versions.load(std::memory_order_acquire);
+         v != nullptr; v = v->next) {
+      if (v->txn_id == txn &&
+          v->commit_ts.load(std::memory_order_relaxed) == kTsUncommitted) {
+        v->commit_ts.store(kTsAborted, std::memory_order_release);
+      }
+    }
+    uint64_t expected = txn;
+    node->lock_owner.compare_exchange_strong(expected, 0,
+                                             std::memory_order_release);
+  }
+}
+
+size_t RowStoreTable::CountVisible(Timestamp ts) const {
+  size_t count = 0;
+  Scan(0, ts, [&](const Row&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+size_t RowStoreTable::Purge(Timestamp oldest_active) {
+  std::unique_lock<std::shared_mutex> table_lock(table_lock_);
+  // Prune version chains: within each node, drop everything older than the
+  // newest version visible to every active snapshot, and drop aborted
+  // versions.
+  for (SkipList::Node* node = primary_.First(); node != nullptr;
+       node = SkipList::Next(node)) {
+    RowVersion* head = node->versions.load(std::memory_order_relaxed);
+    // Remove aborted versions from the head first.
+    while (head != nullptr &&
+           head->commit_ts.load(std::memory_order_relaxed) == kTsAborted) {
+      RowVersion* next = head->next;
+      delete head;
+      head = next;
+    }
+    node->versions.store(head, std::memory_order_relaxed);
+    // Find the anchor: the newest version already visible to every active
+    // snapshot. Everything older can never be read again.
+    RowVersion* anchor = head;
+    while (anchor != nullptr) {
+      Timestamp ts = anchor->commit_ts.load(std::memory_order_relaxed);
+      if (ts <= kTsMax && ts <= oldest_active) break;
+      anchor = anchor->next;
+    }
+    if (anchor != nullptr) {
+      RowVersion* old = anchor->next;
+      anchor->next = nullptr;
+      while (old != nullptr) {
+        RowVersion* next = old->next;
+        delete old;
+        old = next;
+      }
+    }
+  }
+  size_t purged = primary_.Purge([&](SkipList::Node* node) {
+    RowVersion* v = node->versions.load(std::memory_order_relaxed);
+    if (v == nullptr) return true;  // never got a version
+    Timestamp ts = v->commit_ts.load(std::memory_order_relaxed);
+    return v->deleted && ts <= kTsMax && ts <= oldest_active &&
+           v->next == nullptr;
+  });
+  // Rebuild secondary indexes: stale entries (updated/deleted rows) and
+  // entries pointing at purged rows are dropped wholesale.
+  if (!secondaries_.empty() && purged > 0) {
+    for (SecondaryIndex& index : secondaries_) {
+      index.list = std::make_unique<SkipList>();
+    }
+    for (SkipList::Node* node = primary_.First(); node != nullptr;
+         node = SkipList::Next(node)) {
+      RowVersion* v = node->versions.load(std::memory_order_relaxed);
+      if (v != nullptr && !v->deleted) IndexRow(v->data, node->key);
+    }
+  }
+  return purged;
+}
+
+std::string RowStoreTable::SerializeSnapshot(Timestamp ts) const {
+  std::string out;
+  size_t count = 0;
+  std::string rows;
+  Scan(0, ts, [&](const Row& row) {
+    for (const Value& v : row) v.EncodeTo(&rows);
+    ++count;
+    return true;
+  });
+  PutVarint64(&out, count);
+  out.append(rows);
+  return out;
+}
+
+Status RowStoreTable::RestoreSnapshot(Slice snapshot, Timestamp commit_ts) {
+  S2_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&snapshot));
+  const TxnId restore_txn = ~TxnId{0};
+  for (uint64_t i = 0; i < count; ++i) {
+    Row row;
+    row.reserve(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      S2_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&snapshot));
+      row.push_back(std::move(v));
+    }
+    S2_RETURN_NOT_OK(Insert(restore_txn, kTsMax, row));
+  }
+  CommitTxn(restore_txn, commit_ts);
+  return Status::OK();
+}
+
+}  // namespace s2

@@ -1,0 +1,162 @@
+#ifndef S2_ROWSTORE_ROWSTORE_TABLE_H_
+#define S2_ROWSTORE_ROWSTORE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "rowstore/skiplist.h"
+
+namespace s2 {
+
+/// In-memory MVCC rowstore table (paper Section 2.1.1).
+///
+///  - The primary index is a lock-free skiplist keyed by the encoded
+///    primary-key columns; each node carries a newest-first version chain,
+///    so readers never block on writers.
+///  - Writes use pessimistic concurrency control via per-node row locks;
+///    lock waits time out into Aborted so callers can retry (deadlock
+///    avoidance by timeout).
+///  - Optional secondary skiplist indexes map encoded secondary key + pk to
+///    the primary key for seeks.
+///  - Snapshot isolation: a reader sees versions with commit_ts <= read_ts
+///    plus its own uncommitted writes; first-committer-wins on write-write
+///    conflicts.
+///
+/// Commit protocol: callers stage writes under a TxnId, then CommitTxn
+/// stamps every staged version with the commit timestamp and releases row
+/// locks (AbortTxn rolls back). Durability is the log's job, not this
+/// class's.
+class RowStoreTable {
+ public:
+  /// `pk_cols` index into the schema; they form the unique primary key.
+  /// Empty pk_cols means "no user key": callers must provide a hidden
+  /// unique key column themselves.
+  RowStoreTable(Schema schema, std::vector<int> pk_cols);
+  ~RowStoreTable();
+
+  RowStoreTable(const RowStoreTable&) = delete;
+  RowStoreTable& operator=(const RowStoreTable&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<int>& pk_cols() const { return pk_cols_; }
+
+  /// Adds a secondary index over `cols`. Must be called before any writes.
+  void AddSecondaryIndex(std::vector<int> cols);
+
+  /// Inserts a row. AlreadyExists if a live version of the key is visible
+  /// at read_ts or a committed-later writer won the key (Aborted).
+  Status Insert(TxnId txn, Timestamp read_ts, const Row& row);
+
+  /// Move-transaction insert (paper Section 4.2): installs a `system` copy
+  /// of a segment row. Checked against the *latest* committed state:
+  /// AlreadyExists when a live copy is already present (another mover or
+  /// writer beat us), letting the caller fall through to mutating that
+  /// copy.
+  Status InsertMoved(TxnId txn, const Row& row);
+
+  /// Deletes/updates against the *latest* committed row state instead of a
+  /// snapshot. Used by the unified table after a move transaction: the
+  /// moved copy commits after the user's snapshot, but represents unchanged
+  /// logical content, so it must not trigger a conflict. A committed
+  /// non-system version newer than read_ts still aborts
+  /// (first-committer-wins against real writes).
+  Status DeleteLatest(TxnId txn, Timestamp read_ts, const Row& pk);
+  Status UpdateLatest(TxnId txn, Timestamp read_ts, const Row& pk,
+                      const Row& new_row);
+
+  /// Deletes the row with the given primary-key values. NotFound if no
+  /// visible live version exists.
+  Status Delete(TxnId txn, Timestamp read_ts, const Row& pk);
+
+  /// Replaces the row with the given primary key. NotFound when absent.
+  /// The new row must have identical primary-key values.
+  Status Update(TxnId txn, Timestamp read_ts, const Row& pk,
+                const Row& new_row);
+
+  /// Point read by primary key at a snapshot.
+  Result<Row> Get(TxnId txn, Timestamp read_ts, const Row& pk) const;
+
+  /// Seek by secondary index `index_id` (in AddSecondaryIndex call order):
+  /// invokes cb for every visible row matching the key values. cb returns
+  /// false to stop.
+  Status IndexSeek(int index_id, TxnId txn, Timestamp read_ts, const Row& key,
+                   const std::function<bool(const Row&)>& cb) const;
+
+  /// Full scan of visible rows in primary-key order. cb returns false to
+  /// stop early.
+  void Scan(TxnId txn, Timestamp read_ts,
+            const std::function<bool(const Row&)>& cb) const;
+
+  /// Ordered scan starting at the first pk >= prefix.
+  void ScanFrom(const Row& pk_prefix, TxnId txn, Timestamp read_ts,
+                const std::function<bool(const Row&)>& cb) const;
+
+  /// Stamps all of txn's staged versions with commit_ts and releases locks.
+  void CommitTxn(TxnId txn, Timestamp commit_ts);
+
+  /// Discards txn's staged versions and releases locks.
+  void AbortTxn(TxnId txn);
+
+  /// Number of live committed rows visible at ts (approximate under
+  /// concurrency; exact when quiescent).
+  size_t CountVisible(Timestamp ts) const;
+
+  /// Number of skiplist nodes (live + logically deleted, pre-purge).
+  size_t num_nodes() const { return primary_.num_nodes(); }
+
+  /// Physically removes nodes whose newest version is a committed delete
+  /// with commit_ts < oldest_active, and prunes version chains. Takes the
+  /// table's exclusive lock (scans/writes take it shared).
+  size_t Purge(Timestamp oldest_active);
+
+  /// Row-lock wait budget before a writer gives up with Aborted.
+  void set_lock_timeout_ms(int ms) { lock_timeout_ms_ = ms; }
+
+  /// Serializes all rows visible at `ts` (snapshot file payload).
+  std::string SerializeSnapshot(Timestamp ts) const;
+
+  /// Loads rows from a snapshot produced by SerializeSnapshot. The rows are
+  /// installed as committed at `commit_ts`. Table must be empty.
+  Status RestoreSnapshot(Slice snapshot, Timestamp commit_ts);
+
+ private:
+  struct SecondaryIndex {
+    std::vector<int> cols;
+    std::unique_ptr<SkipList> list;  // key: enc(sec cols) + enc(pk)
+  };
+
+  std::string PkFromRow(const Row& row) const;
+  Status LockRow(SkipList::Node* node, TxnId txn) const;
+  static RowVersion* VisibleVersion(const SkipList::Node* node, TxnId txn,
+                                    Timestamp read_ts);
+  Status WriteVersion(TxnId txn, Timestamp read_ts, const std::string& pk,
+                      Row data, bool deleted, bool must_exist,
+                      bool must_not_exist, bool system = false,
+                      bool at_latest = false);
+  void IndexRow(const Row& row, const std::string& pk);
+
+  Schema schema_;
+  std::vector<int> pk_cols_;
+  int lock_timeout_ms_ = 1000;
+  SkipList primary_;
+  std::vector<SecondaryIndex> secondaries_;
+
+  /// Readers/writers take shared; Purge takes exclusive.
+  mutable std::shared_mutex table_lock_;
+
+  /// Staged writes per transaction (nodes whose newest version belongs to
+  /// the txn and whose row lock the txn holds).
+  mutable std::mutex pending_mu_;
+  std::unordered_map<TxnId, std::vector<SkipList::Node*>> pending_;
+};
+
+}  // namespace s2
+
+#endif  // S2_ROWSTORE_ROWSTORE_TABLE_H_

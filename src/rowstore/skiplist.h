@@ -1,0 +1,132 @@
+#ifndef S2_ROWSTORE_SKIPLIST_H_
+#define S2_ROWSTORE_SKIPLIST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/types.h"
+
+namespace s2 {
+
+/// One MVCC version of a row. Versions form a newest-first singly linked
+/// chain hanging off a skiplist node; readers walk the chain to the first
+/// version visible at their snapshot, so readers never wait on writers
+/// (paper Section 2.1.1).
+struct RowVersion {
+  std::atomic<Timestamp> commit_ts{kTsUncommitted};
+  uint64_t txn_id = 0;
+  bool deleted = false;  // true: this version deletes the row
+  /// Written by a system "move transaction" (paper Section 4.2): the row
+  /// was copied from a columnstore segment into the rowstore without
+  /// changing logical table content. System versions never count as
+  /// write-write conflicts against user snapshots.
+  bool system = false;
+  Row data;
+  RowVersion* next = nullptr;  // older version
+};
+
+/// Lock-free concurrent skiplist keyed by encoded byte strings.
+///
+/// Concurrency contract:
+///  - GetOrInsert / Find / iteration may run concurrently from any number
+///    of threads (inserts use CAS splicing, LevelDB-style; nodes are never
+///    unlinked concurrently).
+///  - Purge() physically unlinks nodes and requires external exclusion
+///    against all concurrent access (the rowstore table takes its exclusive
+///    lock). Unlinked nodes are kept on a graveyard and freed with the
+///    list, so stale pointers never dangle.
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 14;
+
+  struct Node {
+    std::string key;
+    std::atomic<RowVersion*> versions{nullptr};
+    /// Row lock: owner txn id, 0 when free. The in-memory rowstore's
+    /// pessimistic write concurrency control.
+    std::atomic<uint64_t> lock_owner{0};
+    int height;
+    std::atomic<Node*> next[1];  // [height] pointers, allocated inline
+
+    Node* Next(int level) const {
+      return next[level].load(std::memory_order_acquire);
+    }
+  };
+
+  SkipList();
+  ~SkipList();
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Returns the node for `key`, inserting an empty one if absent.
+  /// `created` reports whether this call inserted it.
+  Node* GetOrInsert(Slice key, bool* created);
+
+  /// Returns the node with exactly `key`, or nullptr.
+  Node* Find(Slice key) const;
+
+  /// Returns the first node with key >= `key`, or nullptr (seek for ordered
+  /// scans).
+  Node* Seek(Slice key) const;
+
+  /// First node in key order, or nullptr.
+  Node* First() const;
+
+  /// Successor in key order, or nullptr.
+  static Node* Next(const Node* node) { return node->Next(0); }
+
+  /// Unlinks every node for which `dead(node)` returns true. Requires
+  /// external exclusion (no concurrent readers or writers). Returns the
+  /// number of unlinked nodes; their memory is reclaimed on destruction.
+  template <typename Pred>
+  size_t Purge(Pred dead) {
+    size_t purged = 0;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      Node* prev = head_;
+      Node* cur = prev->next[level].load(std::memory_order_relaxed);
+      while (cur != nullptr) {
+        Node* next = cur->next[level].load(std::memory_order_relaxed);
+        if (dead(cur)) {
+          prev->next[level].store(next, std::memory_order_relaxed);
+          if (level == 0) {
+            graveyard_.push_back(cur);
+            ++purged;
+          }
+        } else {
+          prev = cur;
+        }
+        cur = next;
+      }
+    }
+    num_nodes_.fetch_sub(purged, std::memory_order_relaxed);
+    return purged;
+  }
+
+  size_t num_nodes() const {
+    return num_nodes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static Node* NewNode(Slice key, int height);
+  static void DeleteNode(Node* node);
+  int RandomHeight();
+
+  /// Finds the node >= key, filling prev[] with the rightmost node strictly
+  /// before key at every level.
+  Node* FindGreaterOrEqual(Slice key, Node** prev) const;
+
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  std::atomic<size_t> num_nodes_{0};
+  std::atomic<uint64_t> rng_state_{0x853c49e6748fea9bULL};
+  std::vector<Node*> graveyard_;
+};
+
+}  // namespace s2
+
+#endif  // S2_ROWSTORE_SKIPLIST_H_

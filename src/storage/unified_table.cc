@@ -1,0 +1,1291 @@
+#include "storage/unified_table.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "index/inverted_index.h"
+#include "index/postings.h"
+
+namespace s2 {
+
+namespace {
+
+constexpr char kFlagSystemRows = 1;
+
+/// Tuple hash for multi-column index entries.
+uint64_t TupleHash(const Row& row, const std::vector<int>& cols) {
+  uint64_t h = 0xa17e5eed;
+  for (int c : cols) h = HashCombine(h, row[c].Hash());
+  return h;
+}
+
+}  // namespace
+
+UnifiedTable::UnifiedTable(std::string name, TableOptions options,
+                           PartitionLog* log, DataFileStore* files,
+                           TxnManager* txns)
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      log_(log),
+      files_(files),
+      txns_(txns) {
+  // Rowstore schema: user columns + hidden $rowid primary key.
+  std::vector<ColumnDef> cols = options_.schema.columns();
+  cols.push_back(ColumnDef{"$rowid", DataType::kInt64});
+  rowstore_schema_ = Schema(cols);
+  int rowid_col = static_cast<int>(options_.schema.num_columns());
+  rowstore_ = std::make_unique<RowStoreTable>(rowstore_schema_,
+                                              std::vector<int>{rowid_col});
+
+  // Column-level indexes: one per distinct indexed column (secondary
+  // indexes and the unique key share per-column structures, Section 4.1.1).
+  std::vector<int> indexed_cols;
+  auto add_col = [&](int c) {
+    if (std::find(indexed_cols.begin(), indexed_cols.end(), c) ==
+        indexed_cols.end()) {
+      indexed_cols.push_back(c);
+    }
+  };
+  for (const auto& index : options_.indexes) {
+    for (int c : index) add_col(c);
+  }
+  for (int c : options_.unique_key) add_col(c);
+  for (int c : indexed_cols) {
+    IndexState state;
+    state.cols = {c};
+    state.global = std::make_unique<GlobalIndex>();
+    state.global->set_live_check(
+        [this](uint64_t id) { return SegmentLiveLatest(id); });
+    column_indexes_.push_back(std::move(state));
+  }
+
+  // Tuple-level global indexes for multi-column indexes and the unique key.
+  auto add_tuple = [&](const std::vector<int>& cols_vec) {
+    if (cols_vec.size() < 2) return;
+    for (const IndexState& t : tuple_indexes_) {
+      if (t.cols == cols_vec) return;
+    }
+    IndexState state;
+    state.cols = cols_vec;
+    state.global = std::make_unique<GlobalIndex>();
+    state.global->set_live_check(
+        [this](uint64_t id) { return SegmentLiveLatest(id); });
+    tuple_indexes_.push_back(std::move(state));
+  };
+  for (const auto& index : options_.indexes) add_tuple(index);
+  add_tuple(options_.unique_key);
+
+  // Rowstore-side secondary indexes mirror the declared indexes so point
+  // reads seek in level 0 too.
+  std::vector<std::vector<int>> rowstore_indexes = options_.indexes;
+  if (!options_.unique_key.empty()) {
+    bool present = false;
+    for (const auto& index : rowstore_indexes) {
+      if (index == options_.unique_key) present = true;
+    }
+    if (!present) rowstore_indexes.push_back(options_.unique_key);
+  }
+  for (const auto& index : rowstore_indexes) {
+    rowstore_->AddSecondaryIndex(index);
+    rowstore_index_cols_.push_back(index);
+  }
+}
+
+UnifiedTable::~UnifiedTable() = default;
+
+Row UnifiedTable::WithRowId(const Row& row, int64_t rowid) const {
+  Row out = row;
+  out.push_back(Value(rowid));
+  return out;
+}
+
+bool UnifiedTable::SegmentLiveLatest(uint64_t id) const {
+  // Leaf lock only: this is the global indexes' liveness callback and may
+  // run while meta_mu_ is held by the caller.
+  std::lock_guard<std::mutex> lock(live_mu_);
+  return live_segments_.count(id) > 0;
+}
+
+Result<std::shared_ptr<Segment>> UnifiedTable::OpenSegmentLocked(
+    SegmentEntry* entry) {
+  if (entry->segment == nullptr) {
+    S2_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> file,
+                        files_->Read(entry->meta.file_name));
+    S2_ASSIGN_OR_RETURN(entry->segment, Segment::Open(file));
+  }
+  if (!entry->indexed) {
+    // Replicas may install segment metadata before the data file arrives
+    // (async upload / streaming); register index entries at first open.
+    (void)AddSegmentToIndexes(entry->meta.id, entry->segment);
+    entry->indexed = true;
+  }
+  return entry->segment;
+}
+
+std::shared_ptr<const BitVector> UnifiedTable::DeletesAt(
+    const SegmentEntry& entry, Timestamp ts) const {
+  for (auto it = entry.delete_history.rbegin();
+       it != entry.delete_history.rend(); ++it) {
+    if (it->first <= ts) return it->second;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Result<size_t> UnifiedTable::InsertRows(TxnId txn, Timestamp read_ts,
+                                        const std::vector<Row>& rows,
+                                        DupPolicy policy) {
+  for (const Row& row : rows) {
+    if (row.size() != options_.schema.num_columns()) {
+      return Status::InvalidArgument("row arity mismatch for " + name_);
+    }
+  }
+  const bool unique = !options_.unique_key.empty();
+  if (unique) {
+    // Section 4.1.2 step 1: lock the unique key values for the whole batch
+    // so concurrent inserts of the same value serialize.
+    std::vector<std::string> keys;
+    keys.reserve(rows.size());
+    for (const Row& row : rows) {
+      std::string key;
+      for (int c : options_.unique_key) row[c].EncodeTo(&key);
+      keys.push_back(std::move(key));
+    }
+    S2_RETURN_NOT_OK(key_locks_.LockAll(txn, std::move(keys)));
+  }
+
+  size_t applied = 0;
+  std::string payload_rows;
+  uint64_t payload_count = 0;
+  for (const Row& row : rows) {
+    if (unique) {
+      Row key_values;
+      for (int c : options_.unique_key) key_values.push_back(row[c]);
+      RowLocation dup;
+      S2_ASSIGN_OR_RETURN(bool found, FindDuplicate(txn, key_values, &dup));
+      if (found) {
+        switch (policy) {
+          case DupPolicy::kError:
+            return Status::AlreadyExists("duplicate unique key in " + name_);
+          case DupPolicy::kSkip:
+            continue;
+          case DupPolicy::kUpdate:
+            S2_RETURN_NOT_OK(UpdateLocated(txn, read_ts, dup, row));
+            ++applied;
+            continue;
+          case DupPolicy::kReplace:
+            S2_RETURN_NOT_OK(DeleteLocated(txn, read_ts, dup));
+            break;  // fall through to the insert below
+        }
+      }
+    }
+    Row full = WithRowId(row, NextRowId());
+    S2_RETURN_NOT_OK(rowstore_->Insert(txn, read_ts, full));
+    for (const Value& v : full) v.EncodeTo(&payload_rows);
+    ++payload_count;
+    ++applied;
+    stats_.rows_inserted.fetch_add(1);
+  }
+
+  if (payload_count > 0) {
+    LogRecord rec;
+    rec.txn_id = txn;
+    rec.type = LogRecordType::kInsertRows;
+    PutLengthPrefixed(&rec.payload, name_);
+    rec.payload.push_back(0);  // flags: user rows
+    PutVarint64(&rec.payload, payload_count);
+    rec.payload.append(payload_rows);
+    log_->Append(rec);
+  }
+  return applied;
+}
+
+Result<bool> UnifiedTable::FindDuplicate(TxnId txn, const Row& key_values,
+                                         RowLocation* loc) {
+  // Level 0: seek the rowstore secondary index at latest.
+  int rs_index = -1;
+  for (size_t i = 0; i < rowstore_index_cols_.size(); ++i) {
+    if (rowstore_index_cols_[i] == options_.unique_key) {
+      rs_index = static_cast<int>(i);
+    }
+  }
+  bool found = false;
+  if (rs_index >= 0) {
+    S2_RETURN_NOT_OK(rowstore_->IndexSeek(
+        rs_index, txn, kTsMax, key_values, [&](const Row& row) {
+          loc->in_rowstore = true;
+          loc->rowid = row.back().as_int();
+          found = true;
+          return false;
+        }));
+  }
+  if (found) return true;
+
+  // Columnstore: probe the global indexes. In the typical no-duplicate
+  // case only the in-memory hash tables are touched (Section 4.1.2).
+  S2_ASSIGN_OR_RETURN(
+      bool seg_found,
+      LookupSegmentsByCols(options_.unique_key, key_values, kTsMax,
+                           [&](const Row&, uint64_t segment_id,
+                               uint32_t offset) {
+                             loc->in_rowstore = false;
+                             loc->segment_id = segment_id;
+                             loc->row_offset = offset;
+                             return false;
+                           }));
+  return seg_found;
+}
+
+Status UnifiedTable::MoveRows(uint64_t segment_id,
+                              const std::vector<uint32_t>& offsets) {
+  // Autonomous "move transaction" (Section 4.2): copies the rows into the
+  // rowstore and marks them deleted in segment metadata, committing
+  // immediately since logical table content is unchanged.
+  TxnManager::TxnHandle h = txns_->Begin();
+
+  std::shared_ptr<Segment> segment;
+  std::shared_ptr<const BitVector> latest;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = segments_.find(segment_id);
+    if (it == segments_.end() || it->second.dropped_ts != kTsMax) {
+      txns_->Abort(h.id);
+      return Status::Aborted("segment merged away; retry");
+    }
+    auto opened = OpenSegmentLocked(&it->second);
+    if (!opened.ok()) {
+      txns_->Abort(h.id);
+      return opened.status();
+    }
+    segment = *opened;
+    latest = it->second.meta.deletes;
+  }
+
+  std::vector<uint32_t> to_move;
+  for (uint32_t off : offsets) {
+    if (latest == nullptr || !latest->Get(off)) to_move.push_back(off);
+  }
+  if (to_move.empty()) {
+    // Everything already moved by concurrent movers; their copies carry
+    // the rows now.
+    txns_->Abort(h.id);
+    return Status::OK();
+  }
+
+  std::string payload_rows;
+  uint64_t moved_count = 0;
+  std::vector<uint32_t> actually_moved;
+  for (uint32_t off : to_move) {
+    auto row = segment->ReadRow(off);
+    if (!row.ok()) {
+      rowstore_->AbortTxn(h.id);
+      txns_->Abort(h.id);
+      return row.status();
+    }
+    Row full = WithRowId(*row, MovedRowId(segment_id, off));
+    Status st = rowstore_->InsertMoved(h.id, full);
+    if (st.IsAlreadyExists()) continue;  // raced with another mover
+    if (!st.ok()) {
+      rowstore_->AbortTxn(h.id);
+      txns_->Abort(h.id);
+      return st;
+    }
+    for (const Value& v : full) v.EncodeTo(&payload_rows);
+    ++moved_count;
+    actually_moved.push_back(off);
+    stats_.rows_moved.fetch_add(1);
+  }
+  if (moved_count == 0) {
+    rowstore_->AbortTxn(h.id);
+    txns_->Abort(h.id);
+    return Status::OK();
+  }
+
+  // Install + log under the metadata lock so the logged bit vector matches
+  // the installed one even with concurrent movers.
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = segments_.find(segment_id);
+    if (it == segments_.end() || it->second.dropped_ts != kTsMax) {
+      rowstore_->AbortTxn(h.id);
+      txns_->Abort(h.id);
+      return Status::Aborted("segment merged during move; retry");
+    }
+    SegmentEntry& entry = it->second;
+    BitVector bv = entry.meta.deletes != nullptr
+                       ? *entry.meta.deletes
+                       : BitVector(entry.meta.num_rows);
+    for (uint32_t off : actually_moved) bv.Set(off);
+    auto new_deletes = std::make_shared<const BitVector>(std::move(bv));
+
+    LogRecord rows_rec;
+    rows_rec.txn_id = h.id;
+    rows_rec.type = LogRecordType::kInsertRows;
+    PutLengthPrefixed(&rows_rec.payload, name_);
+    rows_rec.payload.push_back(kFlagSystemRows);
+    PutVarint64(&rows_rec.payload, moved_count);
+    rows_rec.payload.append(payload_rows);
+    log_->Append(rows_rec);
+
+    LogRecord meta_rec;
+    meta_rec.txn_id = h.id;
+    meta_rec.type = LogRecordType::kMetadataUpdate;
+    PutLengthPrefixed(&meta_rec.payload, name_);
+    PutVarint64(&meta_rec.payload, segment_id);
+    new_deletes->EncodeTo(&meta_rec.payload);
+    log_->Append(meta_rec);
+
+    Status cs = log_->Commit(h.id);
+    if (!cs.ok()) {
+      rowstore_->AbortTxn(h.id);
+      txns_->Abort(h.id);
+      return cs;
+    }
+    Timestamp cts = txns_->PrepareCommit(h.id);
+    rowstore_->CommitTxn(h.id, cts);
+    entry.meta.deletes = new_deletes;
+    entry.delete_history.emplace_back(cts, new_deletes);
+    txns_->FinishCommit(h.id, cts);
+  }
+  return Status::OK();
+}
+
+Status UnifiedTable::DeleteLocated(TxnId txn, Timestamp read_ts,
+                                   const RowLocation& loc) {
+  int64_t rowid = loc.rowid;
+  if (!loc.in_rowstore) {
+    S2_RETURN_NOT_OK(MoveRows(loc.segment_id, {loc.row_offset}));
+    rowid = MovedRowId(loc.segment_id, loc.row_offset);
+  }
+  Status st = rowstore_->DeleteLatest(txn, read_ts, {Value(rowid)});
+  if (st.IsNotFound()) {
+    // The caller located this row at its snapshot; it vanished at latest,
+    // so a concurrent transaction deleted it: surface as a conflict.
+    return Status::Aborted("row concurrently deleted");
+  }
+  S2_RETURN_NOT_OK(st);
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kDeleteRows;
+  PutLengthPrefixed(&rec.payload, name_);
+  PutVarint64(&rec.payload, 1);
+  PutVarint64(&rec.payload, ZigZagEncode(rowid));
+  log_->Append(rec);
+  stats_.rows_deleted.fetch_add(1);
+  return Status::OK();
+}
+
+Status UnifiedTable::UpdateLocated(TxnId txn, Timestamp read_ts,
+                                   const RowLocation& loc,
+                                   const Row& new_row) {
+  if (new_row.size() != options_.schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for " + name_);
+  }
+  int64_t rowid = loc.rowid;
+  if (!loc.in_rowstore) {
+    S2_RETURN_NOT_OK(MoveRows(loc.segment_id, {loc.row_offset}));
+    rowid = MovedRowId(loc.segment_id, loc.row_offset);
+  }
+  Row full = WithRowId(new_row, rowid);
+  Status st = rowstore_->UpdateLatest(txn, read_ts, {Value(rowid)}, full);
+  if (st.IsNotFound()) {
+    return Status::Aborted("row concurrently deleted");
+  }
+  S2_RETURN_NOT_OK(st);
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kDeleteRows;
+  PutLengthPrefixed(&rec.payload, name_);
+  PutVarint64(&rec.payload, 1);
+  PutVarint64(&rec.payload, ZigZagEncode(rowid));
+  log_->Append(rec);
+  LogRecord ins;
+  ins.txn_id = txn;
+  ins.type = LogRecordType::kInsertRows;
+  PutLengthPrefixed(&ins.payload, name_);
+  ins.payload.push_back(0);
+  PutVarint64(&ins.payload, 1);
+  for (const Value& v : full) v.EncodeTo(&ins.payload);
+  log_->Append(ins);
+  stats_.rows_updated.fetch_add(1);
+  return Status::OK();
+}
+
+Status UnifiedTable::DeleteByKey(TxnId txn, Timestamp read_ts,
+                                 const Row& key) {
+  RowLocation loc;
+  S2_ASSIGN_OR_RETURN(bool found, FindDuplicate(txn, key, &loc));
+  if (!found) return Status::NotFound("no row with key in " + name_);
+  return DeleteLocated(txn, read_ts, loc);
+}
+
+Status UnifiedTable::UpdateByKey(TxnId txn, Timestamp read_ts, const Row& key,
+                                 const Row& new_row) {
+  RowLocation loc;
+  S2_ASSIGN_OR_RETURN(bool found, FindDuplicate(txn, key, &loc));
+  if (!found) return Status::NotFound("no row with key in " + name_);
+  return UpdateLocated(txn, read_ts, loc, new_row);
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+void UnifiedTable::ScanRowstore(
+    TxnId txn, Timestamp read_ts,
+    const std::function<bool(const Row&, const RowLocation&)>& cb) const {
+  rowstore_->Scan(txn, read_ts, [&](const Row& full) {
+    Row user(full.begin(), full.end() - 1);
+    RowLocation loc;
+    loc.in_rowstore = true;
+    loc.rowid = full.back().as_int();
+    return cb(user, loc);
+  });
+}
+
+Result<std::vector<SegmentSnapshot>> UnifiedTable::GetSegments(
+    Timestamp read_ts) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<SegmentSnapshot> out;
+  for (auto& [id, entry] : segments_) {
+    if (entry.created_ts > read_ts) continue;
+    if (entry.dropped_ts != kTsMax && entry.dropped_ts <= read_ts) continue;
+    S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> segment,
+                        OpenSegmentLocked(&entry));
+    out.push_back(SegmentSnapshot{id, segment, DeletesAt(entry, read_ts)});
+  }
+  return out;
+}
+
+Result<std::vector<SegmentIndexMatch>> UnifiedTable::IndexLookupSegments(
+    int col, const Value& value, Timestamp read_ts) {
+  GlobalIndex* global = nullptr;
+  for (IndexState& state : column_indexes_) {
+    if (state.cols.size() == 1 && state.cols[0] == col) {
+      global = state.global.get();
+    }
+  }
+  if (global == nullptr) {
+    return Status::InvalidArgument("column has no secondary index");
+  }
+  std::vector<IndexEntry> entries;
+  global->Lookup(value.Hash(),
+                 [&](const IndexEntry& e) { entries.push_back(e); });
+  std::vector<SegmentIndexMatch> matches;
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (const IndexEntry& e : entries) {
+    auto it = segments_.find(e.segment_id);
+    if (it == segments_.end()) continue;
+    SegmentEntry& entry = it->second;
+    if (entry.created_ts > read_ts) continue;
+    if (entry.dropped_ts != kTsMax && entry.dropped_ts <= read_ts) continue;
+    S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> segment,
+                        OpenSegmentLocked(&entry));
+    matches.push_back(SegmentIndexMatch{
+        SegmentSnapshot{e.segment_id, segment, DeletesAt(entry, read_ts)},
+        e.postings_offset});
+  }
+  return matches;
+}
+
+size_t UnifiedTable::IndexProbeTables(int col) const {
+  for (const IndexState& state : column_indexes_) {
+    if (state.cols.size() == 1 && state.cols[0] == col) {
+      return state.global->num_tables();
+    }
+  }
+  return 0;
+}
+
+Result<bool> UnifiedTable::LookupSegmentsByCols(
+    const std::vector<int>& cols, const Row& values, Timestamp read_ts,
+    const std::function<bool(const Row&, uint64_t, uint32_t)>& cb) {
+  // When a tuple-level index exists for these exact columns, use it to
+  // skip segments lacking a full-tuple match (Section 4.1.1).
+  std::unordered_set<uint64_t> tuple_segments;
+  bool have_tuple = false;
+  if (cols.size() >= 2) {
+    for (IndexState& state : tuple_indexes_) {
+      if (state.cols == cols) {
+        have_tuple = true;
+        uint64_t h = 0xa17e5eed;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          h = HashCombine(h, values[i].Hash());
+        }
+        state.global->Lookup(h, [&](const IndexEntry& e) {
+          tuple_segments.insert(e.segment_id);
+        });
+      }
+    }
+  }
+
+  // Per-column matches grouped by segment.
+  struct SegmentCandidate {
+    SegmentSnapshot snapshot;
+    std::vector<uint32_t> offsets;  // postings offsets, aligned with cols
+  };
+  std::unordered_map<uint64_t, SegmentCandidate> candidates;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    S2_ASSIGN_OR_RETURN(std::vector<SegmentIndexMatch> matches,
+                        IndexLookupSegments(cols[i], values[i], read_ts));
+    std::unordered_set<uint64_t> seen;
+    for (SegmentIndexMatch& match : matches) {
+      uint64_t id = match.snapshot.id;
+      if (have_tuple && tuple_segments.count(id) == 0) continue;
+      seen.insert(id);
+      auto [it, inserted] = candidates.try_emplace(id);
+      if (inserted) {
+        it->second.snapshot = std::move(match.snapshot);
+        it->second.offsets.assign(cols.size(), 0);
+      }
+      it->second.offsets[i] = match.postings_offset;
+    }
+    // A segment must match every column; drop the rest.
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      if (i == 0 || seen.count(it->first) > 0) {
+        ++it;
+      } else {
+        it = candidates.erase(it);
+      }
+    }
+    if (i > 0) {
+      for (auto it = candidates.begin(); it != candidates.end();) {
+        if (seen.count(it->first) == 0) {
+          it = candidates.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  bool found_any = false;
+  for (auto& [id, cand] : candidates) {
+    // Intersect the per-column postings lists (hash collisions rejected by
+    // the value check inside PostingsAt).
+    std::vector<PostingsIterator> its;
+    bool missing = false;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      auto block = cand.snapshot.segment->aux_block(
+          InvertedIndexBuilder::BlockName(cols[i]));
+      if (!block.ok()) {
+        missing = true;
+        break;
+      }
+      S2_ASSIGN_OR_RETURN(InvertedIndexReader reader,
+                          InvertedIndexReader::Open(*block));
+      S2_ASSIGN_OR_RETURN(PostingsIterator it,
+                          reader.PostingsAt(cand.offsets[i], values[i]));
+      if (!it.Valid()) {
+        missing = true;
+        break;
+      }
+      its.push_back(std::move(it));
+    }
+    if (missing) continue;
+    std::vector<uint32_t> rows;
+    S2_RETURN_NOT_OK(IntersectPostings(std::move(its), &rows));
+    for (uint32_t off : rows) {
+      if (cand.snapshot.deletes != nullptr && cand.snapshot.deletes->Get(off)) {
+        continue;
+      }
+      S2_ASSIGN_OR_RETURN(Row row, cand.snapshot.segment->ReadRow(off));
+      found_any = true;
+      if (!cb(row, id, off)) return true;
+    }
+  }
+  return found_any;
+}
+
+Status UnifiedTable::LookupByIndex(
+    TxnId txn, Timestamp read_ts, const std::vector<int>& index_cols,
+    const Row& values,
+    const std::function<bool(const Row&, const RowLocation&)>& cb) {
+  if (index_cols.size() != values.size()) {
+    return Status::InvalidArgument("index key arity mismatch");
+  }
+  // Level 0 first: exact rowstore index if declared, else filtered scan of
+  // the (small, write-optimized) rowstore.
+  int rs_index = -1;
+  for (size_t i = 0; i < rowstore_index_cols_.size(); ++i) {
+    if (rowstore_index_cols_[i] == index_cols) rs_index = static_cast<int>(i);
+  }
+  bool stopped = false;
+  auto emit_rowstore = [&](const Row& full) {
+    Row user(full.begin(), full.end() - 1);
+    RowLocation loc;
+    loc.in_rowstore = true;
+    loc.rowid = full.back().as_int();
+    if (!cb(user, loc)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
+  if (rs_index >= 0) {
+    S2_RETURN_NOT_OK(
+        rowstore_->IndexSeek(rs_index, txn, read_ts, values, emit_rowstore));
+  } else {
+    rowstore_->Scan(txn, read_ts, [&](const Row& full) {
+      for (size_t i = 0; i < index_cols.size(); ++i) {
+        if (full[index_cols[i]] != values[i]) return true;
+      }
+      return emit_rowstore(full);
+    });
+  }
+  if (stopped) return Status::OK();
+
+  // Columnstore via the two-level index.
+  S2_ASSIGN_OR_RETURN(
+      bool found,
+      LookupSegmentsByCols(index_cols, values, read_ts,
+                           [&](const Row& row, uint64_t segment_id,
+                               uint32_t offset) {
+                             RowLocation loc;
+                             loc.in_rowstore = false;
+                             loc.segment_id = segment_id;
+                             loc.row_offset = offset;
+                             return cb(row, loc);
+                           }));
+  (void)found;
+  return Status::OK();
+}
+
+uint64_t UnifiedTable::ApproxRowCount() const {
+  uint64_t count = rowstore_->num_nodes();
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (const auto& [id, entry] : segments_) {
+    if (entry.dropped_ts == kTsMax) count += entry.meta.live_rows();
+  }
+  return count;
+}
+
+size_t UnifiedTable::NumSegments() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  size_t n = 0;
+  for (const auto& [id, entry] : segments_) {
+    if (entry.dropped_ts == kTsMax) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+Result<std::pair<std::string, SegmentMeta>> UnifiedTable::BuildSegment(
+    const std::vector<Row>& rows, uint64_t segment_id, Lsn lsn) {
+  SegmentBuilder builder(options_.schema);
+  for (const Row& row : rows) builder.AddRow(row);
+
+  // Per-segment inverted indexes for every indexed column (built once at
+  // segment creation; the segment is immutable afterwards).
+  for (const IndexState& state : column_indexes_) {
+    int col = state.cols[0];
+    builder.AddAuxBlock(InvertedIndexBuilder::BlockName(col),
+                        InvertedIndexBuilder::Build(builder.column_data(col)));
+  }
+  // Tuple hashes for multi-column indexes (segment-skipping aux data).
+  for (size_t t = 0; t < tuple_indexes_.size(); ++t) {
+    std::unordered_set<uint64_t> distinct;
+    for (const Row& row : rows) {
+      distinct.insert(TupleHash(row, tuple_indexes_[t].cols));
+    }
+    std::string block;
+    PutVarint64(&block, distinct.size());
+    for (uint64_t h : distinct) PutFixed64(&block, h);
+    builder.AddAuxBlock("tup." + std::to_string(t), std::move(block));
+  }
+
+  S2_ASSIGN_OR_RETURN(std::string file, builder.Finish());
+  SegmentMeta meta;
+  meta.id = segment_id;
+  meta.file_name = SegmentFileName(lsn, segment_id);
+  meta.num_rows = static_cast<uint32_t>(rows.size());
+  // Stats are parsed back from the footer when the file is opened; also
+  // keep them in metadata for elimination without opening the file.
+  S2_ASSIGN_OR_RETURN(auto opened,
+                      Segment::Open(std::make_shared<const std::string>(file)));
+  for (size_t c = 0; c < options_.schema.num_columns(); ++c) {
+    meta.stats.push_back(opened->stats(c));
+  }
+  return std::make_pair(std::move(file), std::move(meta));
+}
+
+Status UnifiedTable::AddSegmentToIndexes(
+    uint64_t segment_id, const std::shared_ptr<Segment>& segment) {
+  for (IndexState& state : column_indexes_) {
+    int col = state.cols[0];
+    auto block = segment->aux_block(InvertedIndexBuilder::BlockName(col));
+    if (!block.ok()) continue;
+    S2_ASSIGN_OR_RETURN(InvertedIndexReader reader,
+                        InvertedIndexReader::Open(*block));
+    std::vector<IndexEntry> entries;
+    reader.ForEachTerm([&](const Value& value, uint32_t offset) {
+      entries.push_back(IndexEntry{value.Hash(), segment_id, offset});
+    });
+    state.global->AddSegment(segment_id, entries);
+  }
+  for (size_t t = 0; t < tuple_indexes_.size(); ++t) {
+    auto block = segment->aux_block("tup." + std::to_string(t));
+    if (!block.ok()) continue;
+    Slice in = *block;
+    S2_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&in));
+    if (in.size() < count * 8) {
+      return Status::Corruption("truncated tuple hash block");
+    }
+    std::vector<IndexEntry> entries;
+    entries.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      entries.push_back(
+          IndexEntry{DecodeFixed64(in.data() + i * 8), segment_id, 0});
+    }
+    tuple_indexes_[t].global->AddSegment(segment_id, entries);
+  }
+  return Status::OK();
+}
+
+Status UnifiedTable::RegisterSegment(SegmentMeta meta, Timestamp created_ts,
+                                     bool new_sorted_run,
+                                     const std::shared_ptr<Segment>& opened) {
+  uint64_t id = meta.id;
+  {
+    std::lock_guard<std::mutex> live(live_mu_);
+    live_segments_.insert(id);
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  SegmentEntry entry;
+  entry.created_ts = created_ts;
+  entry.segment = opened;
+  entry.delete_history.emplace_back(created_ts, meta.deletes);
+  uint64_t rows = meta.live_rows();
+  entry.meta = std::move(meta);
+  if (opened != nullptr) {
+    S2_RETURN_NOT_OK(AddSegmentToIndexes(id, opened));
+    entry.indexed = true;
+  }
+  segments_[id] = std::move(entry);
+  if (new_sorted_run) {
+    runs_.push_back(SortedRun{{id}, rows});
+  }
+  stats_.segments_created.fetch_add(1);
+  // Keep id allocation ahead of replayed/restored segments.
+  uint64_t next = next_segment_id_.load();
+  while (id >= next &&
+         !next_segment_id_.compare_exchange_weak(next, id + 1)) {
+  }
+  return Status::OK();
+}
+
+Result<size_t> UnifiedTable::FlushRowstore() {
+  if (options_.flush_threshold == std::numeric_limits<uint32_t>::max()) {
+    // Rowstore-only table (the CDB baseline profile): data never converts
+    // to columnstore segments.
+    return size_t{0};
+  }
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  TxnManager::TxnHandle h = txns_->Begin();
+
+  // Collect committed rows visible at the flush snapshot.
+  std::vector<std::pair<int64_t, Row>> candidates;
+  rowstore_->Scan(h.id, h.read_ts, [&](const Row& full) {
+    candidates.emplace_back(full.back().as_int(),
+                            Row(full.begin(), full.end() - 1));
+    return candidates.size() < options_.segment_rows;
+  });
+  if (candidates.empty()) {
+    txns_->Abort(h.id);
+    return size_t{0};
+  }
+
+  // Delete each row from level 0 in the flush transaction; rows locked by
+  // concurrent writers or already changed are skipped (they stay for the
+  // next flush).
+  std::vector<Row> rows;
+  std::vector<int64_t> rowids;
+  for (auto& [rowid, row] : candidates) {
+    Status st = rowstore_->DeleteLatest(h.id, h.read_ts, {Value(rowid)});
+    if (!st.ok()) continue;
+    rows.push_back(std::move(row));
+    rowids.push_back(rowid);
+  }
+  if (rows.empty()) {
+    rowstore_->AbortTxn(h.id);
+    txns_->Abort(h.id);
+    return size_t{0};
+  }
+
+  // Sort by the sort key; ties keep arrival order.
+  if (!options_.sort_key.empty()) {
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (int c : options_.sort_key) {
+        int cmp = rows[a][c].Compare(rows[b][c]);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(rows.size());
+    for (size_t i : order) sorted.push_back(std::move(rows[i]));
+    rows = std::move(sorted);
+  }
+
+  uint64_t segment_id = next_segment_id_.fetch_add(1);
+  Lsn lsn = log_->next_lsn();
+  S2_ASSIGN_OR_RETURN(auto built, BuildSegment(rows, segment_id, lsn));
+  auto& [file_bytes, meta] = built;
+  auto file = std::make_shared<const std::string>(std::move(file_bytes));
+  S2_RETURN_NOT_OK(files_->Write(meta.file_name, file));
+  S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> opened, Segment::Open(file));
+
+  LogRecord rec;
+  rec.txn_id = h.id;
+  rec.type = LogRecordType::kSegmentFlush;
+  PutLengthPrefixed(&rec.payload, name_);
+  meta.EncodeTo(&rec.payload);
+  PutVarint64(&rec.payload, rowids.size());
+  for (int64_t rowid : rowids) PutVarint64(&rec.payload, ZigZagEncode(rowid));
+  log_->Append(rec);
+
+  Status cs = log_->Commit(h.id);
+  if (!cs.ok()) {
+    rowstore_->AbortTxn(h.id);
+    txns_->Abort(h.id);
+    (void)files_->Remove(meta.file_name);
+    return cs;
+  }
+  Timestamp cts = txns_->PrepareCommit(h.id);
+  rowstore_->CommitTxn(h.id, cts);
+  S2_RETURN_NOT_OK(
+      RegisterSegment(std::move(meta), cts, /*new_sorted_run=*/true, opened));
+  txns_->FinishCommit(h.id, cts);
+  stats_.flushes.fetch_add(1);
+  // Reclaim the flushed nodes once no active snapshot can still see them;
+  // this is what keeps the write-optimized level 0 small.
+  rowstore_->Purge(txns_->oldest_active());
+  return rows.size();
+}
+
+Result<bool> UnifiedTable::MaybeMergeRuns() {
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+
+  // Pick the merge inputs and snapshot their delete vectors.
+  std::vector<size_t> picked;
+  std::vector<uint64_t> old_ids;
+  std::vector<MergeInput> inputs;
+  std::vector<std::shared_ptr<const BitVector>> scanned_deletes;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    picked = PickRunsToMerge(runs_, options_.max_sorted_runs);
+    if (picked.empty()) return false;
+    for (size_t r : picked) {
+      for (uint64_t id : runs_[r].segment_ids) {
+        auto it = segments_.find(id);
+        if (it == segments_.end()) continue;
+        S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> segment,
+                            OpenSegmentLocked(&it->second));
+        old_ids.push_back(id);
+        inputs.push_back(MergeInput{segment, it->second.meta.deletes});
+        scanned_deletes.push_back(it->second.meta.deletes);
+      }
+    }
+  }
+  if (inputs.empty()) return false;
+
+  // The heavy merge runs without any table lock (paper Section 4.2: merges
+  // must not block concurrent updates; moves landing meanwhile are
+  // reconciled below via the row mapping).
+  SegmentMerger merger(options_.schema, options_.sort_key,
+                       options_.segment_rows);
+  RowMapping mapping;
+  S2_ASSIGN_OR_RETURN(std::vector<std::vector<Row>> chunks,
+                      merger.MergeRows(inputs, &mapping));
+
+  TxnManager::TxnHandle h = txns_->Begin();
+  Lsn lsn = log_->next_lsn();
+  std::vector<SegmentMeta> new_metas;
+  std::vector<std::shared_ptr<Segment>> new_opened;
+  for (const std::vector<Row>& chunk : chunks) {
+    uint64_t segment_id = next_segment_id_.fetch_add(1);
+    S2_ASSIGN_OR_RETURN(auto built, BuildSegment(chunk, segment_id, lsn));
+    auto& [file_bytes, meta] = built;
+    auto file = std::make_shared<const std::string>(std::move(file_bytes));
+    S2_RETURN_NOT_OK(files_->Write(meta.file_name, file));
+    S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> opened, Segment::Open(file));
+    new_metas.push_back(std::move(meta));
+    new_opened.push_back(std::move(opened));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    // Reconcile deletes that landed after our scan: map each newly set bit
+    // through the row mapping onto the new segments (Section 4.2's "apply
+    // all segment merges between the scan timestamp and the commit
+    // timestamp to the deleted bits" — seen from the merge's side).
+    std::vector<BitVector> new_deletes;
+    new_deletes.reserve(new_metas.size());
+    for (const SegmentMeta& meta : new_metas) {
+      new_deletes.emplace_back(meta.num_rows);
+    }
+    bool any_new_delete = false;
+    for (size_t i = 0; i < old_ids.size(); ++i) {
+      auto it = segments_.find(old_ids[i]);
+      if (it == segments_.end()) continue;
+      const auto& current = it->second.meta.deletes;
+      if (current == scanned_deletes[i] || current == nullptr) continue;
+      for (uint32_t off = 0; off < current->size(); ++off) {
+        bool now = current->Get(off);
+        bool before =
+            scanned_deletes[i] != nullptr && scanned_deletes[i]->Get(off);
+        if (now && !before) {
+          auto [seg_idx, new_off] = mapping.where[i][off];
+          if (seg_idx != RowMapping::kDropped) {
+            new_deletes[seg_idx].Set(new_off);
+            any_new_delete = true;
+          }
+        }
+      }
+    }
+    for (size_t s = 0; s < new_metas.size(); ++s) {
+      if (any_new_delete && !new_deletes[s].NoneSet()) {
+        new_metas[s].deletes =
+            std::make_shared<const BitVector>(std::move(new_deletes[s]));
+      }
+    }
+
+    LogRecord rec;
+    rec.txn_id = h.id;
+    rec.type = LogRecordType::kSegmentMerge;
+    PutLengthPrefixed(&rec.payload, name_);
+    PutVarint64(&rec.payload, old_ids.size());
+    for (uint64_t id : old_ids) PutVarint64(&rec.payload, id);
+    PutVarint64(&rec.payload, new_metas.size());
+    for (const SegmentMeta& meta : new_metas) meta.EncodeTo(&rec.payload);
+    log_->Append(rec);
+    Status cs = log_->Commit(h.id);
+    if (!cs.ok()) {
+      txns_->Abort(h.id);
+      for (const SegmentMeta& meta : new_metas) {
+        (void)files_->Remove(meta.file_name);
+      }
+      return cs;
+    }
+    Timestamp cts = txns_->PrepareCommit(h.id);
+
+    // Install: drop old, add new, rebuild run bookkeeping. New segments
+    // register their index entries before becoming visible; old ones turn
+    // dead in the liveness set so index lookups skip them lazily.
+    {
+      std::lock_guard<std::mutex> live(live_mu_);
+      for (uint64_t id : old_ids) live_segments_.erase(id);
+      for (const SegmentMeta& meta : new_metas) {
+        live_segments_.insert(meta.id);
+      }
+    }
+    for (uint64_t id : old_ids) {
+      auto it = segments_.find(id);
+      if (it != segments_.end()) it->second.dropped_ts = cts;
+    }
+    SortedRun merged_run;
+    for (size_t s = 0; s < new_metas.size(); ++s) {
+      SegmentEntry entry;
+      entry.created_ts = cts;
+      entry.segment = new_opened[s];
+      entry.delete_history.emplace_back(cts, new_metas[s].deletes);
+      uint64_t id = new_metas[s].id;
+      merged_run.segment_ids.push_back(id);
+      merged_run.total_rows += new_metas[s].live_rows();
+      entry.meta = new_metas[s];
+      S2_RETURN_NOT_OK(AddSegmentToIndexes(id, new_opened[s]));
+      entry.indexed = true;
+      segments_[id] = std::move(entry);
+      stats_.segments_created.fetch_add(1);
+    }
+    std::sort(picked.begin(), picked.end());
+    for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
+      runs_.erase(runs_.begin() + static_cast<long>(*it));
+    }
+    if (!merged_run.segment_ids.empty()) runs_.push_back(merged_run);
+
+    txns_->FinishCommit(h.id, cts);
+  }
+  for (IndexState& state : column_indexes_) state.global->Maintain();
+  for (IndexState& state : tuple_indexes_) state.global->Maintain();
+  stats_.merges.fetch_add(1);
+  return true;
+}
+
+void UnifiedTable::Vacuum(Timestamp oldest_active) {
+  rowstore_->Purge(oldest_active);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    for (auto it = segments_.begin(); it != segments_.end();) {
+      SegmentEntry& entry = it->second;
+      // Trim delete-vector history no snapshot can read anymore (keep the
+      // newest version at or below the horizon).
+      while (entry.delete_history.size() > 1 &&
+             entry.delete_history[1].first <= oldest_active) {
+        entry.delete_history.erase(entry.delete_history.begin());
+      }
+      if (entry.dropped_ts <= oldest_active) {
+        (void)files_->Remove(entry.meta.file_name);
+        it = segments_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (IndexState& state : column_indexes_) state.global->Maintain();
+  for (IndexState& state : tuple_indexes_) state.global->Maintain();
+}
+
+// ---------------------------------------------------------------------------
+// Commit integration
+// ---------------------------------------------------------------------------
+
+void UnifiedTable::StampCommit(TxnId txn, Timestamp commit_ts) {
+  rowstore_->CommitTxn(txn, commit_ts);
+  // Apply staged replay operations (segment installs) at the commit ts.
+  std::vector<StagedOp> staged;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = staged_.find(txn);
+    if (it != staged_.end()) {
+      staged = std::move(it->second);
+      staged_.erase(it);
+    }
+  }
+  for (StagedOp& op : staged) {
+    switch (op.kind) {
+      case StagedOp::kFlush: {
+        auto file = files_->Read(op.meta.file_name);
+        std::shared_ptr<Segment> opened;
+        if (file.ok()) {
+          auto seg = Segment::Open(*file);
+          if (seg.ok()) opened = *seg;
+        }
+        SegmentMeta meta_copy = op.meta;
+        (void)RegisterSegment(std::move(meta_copy), commit_ts,
+                              /*new_sorted_run=*/true, opened);
+        break;
+      }
+      case StagedOp::kMetadataUpdate: {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        auto it = segments_.find(op.segment_id);
+        if (it != segments_.end()) {
+          it->second.meta.deletes = op.deletes;
+          it->second.delete_history.emplace_back(commit_ts, op.deletes);
+        }
+        break;
+      }
+      case StagedOp::kMerge: {
+        // Drop old segments, register new ones as one run.
+        {
+          std::lock_guard<std::mutex> live(live_mu_);
+          for (uint64_t id : op.old_ids) live_segments_.erase(id);
+        }
+        {
+          std::lock_guard<std::mutex> lock(meta_mu_);
+          std::unordered_set<uint64_t> old_set(op.old_ids.begin(),
+                                               op.old_ids.end());
+          for (uint64_t id : op.old_ids) {
+            auto it = segments_.find(id);
+            if (it != segments_.end()) it->second.dropped_ts = commit_ts;
+          }
+          for (auto it = runs_.begin(); it != runs_.end();) {
+            bool overlaps = false;
+            for (uint64_t id : it->segment_ids) {
+              if (old_set.count(id) > 0) overlaps = true;
+            }
+            it = overlaps ? runs_.erase(it) : it + 1;
+          }
+        }
+        SortedRun run;
+        for (SegmentMeta& meta : op.new_metas) {
+          auto file = files_->Read(meta.file_name);
+          std::shared_ptr<Segment> opened;
+          if (file.ok()) {
+            auto seg = Segment::Open(*file);
+            if (seg.ok()) opened = *seg;
+          }
+          uint64_t id = meta.id;
+          run.segment_ids.push_back(id);
+          run.total_rows += meta.live_rows();
+          (void)RegisterSegment(std::move(meta), commit_ts,
+                                /*new_sorted_run=*/false, opened);
+        }
+        {
+          std::lock_guard<std::mutex> lock(meta_mu_);
+          if (!run.segment_ids.empty()) runs_.push_back(run);
+        }
+        break;
+      }
+    }
+  }
+  key_locks_.UnlockAll(txn);
+}
+
+void UnifiedTable::AbortTxn(TxnId txn) {
+  rowstore_->AbortTxn(txn);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    staged_.erase(txn);
+  }
+  key_locks_.UnlockAll(txn);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot & replay
+// ---------------------------------------------------------------------------
+
+void UnifiedTable::SerializeState(std::string* dst) const {
+  options_.EncodeTo(dst);
+  PutVarint64(dst, static_cast<uint64_t>(next_rowid_.load()));
+  PutVarint64(dst, next_segment_id_.load());
+  std::string rowstore_snap =
+      rowstore_->SerializeSnapshot(txns_->watermark());
+  PutLengthPrefixed(dst, rowstore_snap);
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  uint64_t live = 0;
+  for (const auto& [id, entry] : segments_) {
+    if (entry.dropped_ts == kTsMax) ++live;
+  }
+  PutVarint64(dst, live);
+  for (const auto& [id, entry] : segments_) {
+    if (entry.dropped_ts == kTsMax) entry.meta.EncodeTo(dst);
+  }
+  PutVarint64(dst, runs_.size());
+  for (const SortedRun& run : runs_) {
+    PutVarint64(dst, run.segment_ids.size());
+    for (uint64_t id : run.segment_ids) PutVarint64(dst, id);
+    PutVarint64(dst, run.total_rows);
+  }
+}
+
+Status UnifiedTable::RestoreState(Slice* input) {
+  // `options_` was already decoded by the caller to construct the table;
+  // skip past it.
+  S2_RETURN_NOT_OK(TableOptions::DecodeFrom(input).status());
+  S2_ASSIGN_OR_RETURN(uint64_t next_rowid, GetVarint64(input));
+  S2_ASSIGN_OR_RETURN(uint64_t next_segment, GetVarint64(input));
+  next_rowid_.store(static_cast<int64_t>(next_rowid));
+  next_segment_id_.store(next_segment);
+  S2_ASSIGN_OR_RETURN(Slice rowstore_snap, GetLengthPrefixed(input));
+  S2_RETURN_NOT_OK(rowstore_->RestoreSnapshot(rowstore_snap, 1));
+  S2_ASSIGN_OR_RETURN(uint64_t num_segments, GetVarint64(input));
+  for (uint64_t s = 0; s < num_segments; ++s) {
+    S2_ASSIGN_OR_RETURN(SegmentMeta meta, SegmentMeta::DecodeFrom(input));
+    S2_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> file,
+                        files_->Read(meta.file_name));
+    S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> opened, Segment::Open(file));
+    S2_RETURN_NOT_OK(RegisterSegment(std::move(meta), /*created_ts=*/0,
+                                     /*new_sorted_run=*/false, opened));
+  }
+  S2_ASSIGN_OR_RETURN(uint64_t num_runs, GetVarint64(input));
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (uint64_t r = 0; r < num_runs; ++r) {
+    SortedRun run;
+    S2_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(input));
+    for (uint64_t i = 0; i < n; ++i) {
+      S2_ASSIGN_OR_RETURN(uint64_t id, GetVarint64(input));
+      run.segment_ids.push_back(id);
+    }
+    S2_ASSIGN_OR_RETURN(run.total_rows, GetVarint64(input));
+    runs_.push_back(std::move(run));
+  }
+  return Status::OK();
+}
+
+Status UnifiedTable::ReplayInsert(TxnId txn, Slice payload) {
+  if (payload.empty()) return Status::Corruption("empty insert payload");
+  bool system = (payload[0] & kFlagSystemRows) != 0;
+  payload.RemovePrefix(1);
+  S2_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&payload));
+  for (uint64_t i = 0; i < count; ++i) {
+    Row row;
+    row.reserve(rowstore_schema_.num_columns());
+    for (size_t c = 0; c < rowstore_schema_.num_columns(); ++c) {
+      S2_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&payload));
+      row.push_back(std::move(v));
+    }
+    int64_t rowid = row.back().as_int();
+    uint64_t next = static_cast<uint64_t>(next_rowid_.load());
+    if (rowid >= 0 && static_cast<uint64_t>(rowid) >= next &&
+        static_cast<uint64_t>(rowid) < (uint64_t{1} << 62)) {
+      next_rowid_.store(rowid + 1);
+    }
+    Status st = system ? rowstore_->InsertMoved(txn, row)
+                       : rowstore_->Insert(txn, kTsMax, row);
+    if (st.IsAlreadyExists() && system) continue;
+    S2_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status UnifiedTable::ReplayDelete(TxnId txn, Slice payload) {
+  S2_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&payload));
+  for (uint64_t i = 0; i < count; ++i) {
+    S2_ASSIGN_OR_RETURN(uint64_t z, GetVarint64(&payload));
+    int64_t rowid = ZigZagDecode(z);
+    S2_RETURN_NOT_OK(rowstore_->DeleteLatest(txn, kTsMax, {Value(rowid)}));
+  }
+  return Status::OK();
+}
+
+Status UnifiedTable::ReplaySegmentFlush(TxnId txn, Slice payload) {
+  S2_ASSIGN_OR_RETURN(SegmentMeta meta, SegmentMeta::DecodeFrom(&payload));
+  S2_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&payload));
+  for (uint64_t i = 0; i < count; ++i) {
+    S2_ASSIGN_OR_RETURN(uint64_t z, GetVarint64(&payload));
+    int64_t rowid = ZigZagDecode(z);
+    S2_RETURN_NOT_OK(rowstore_->DeleteLatest(txn, kTsMax, {Value(rowid)}));
+  }
+  StagedOp op;
+  op.kind = StagedOp::kFlush;
+  op.meta = std::move(meta);
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  staged_[txn].push_back(std::move(op));
+  return Status::OK();
+}
+
+Status UnifiedTable::ReplayMetadataUpdate(TxnId txn, Slice payload,
+                                          Timestamp /*commit_ts*/) {
+  S2_ASSIGN_OR_RETURN(uint64_t segment_id, GetVarint64(&payload));
+  S2_ASSIGN_OR_RETURN(BitVector bv, BitVector::DecodeFrom(&payload));
+  StagedOp op;
+  op.kind = StagedOp::kMetadataUpdate;
+  op.segment_id = segment_id;
+  op.deletes = std::make_shared<const BitVector>(std::move(bv));
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  staged_[txn].push_back(std::move(op));
+  return Status::OK();
+}
+
+Status UnifiedTable::ReplaySegmentMerge(TxnId txn, Slice payload) {
+  StagedOp op;
+  op.kind = StagedOp::kMerge;
+  S2_ASSIGN_OR_RETURN(uint64_t num_old, GetVarint64(&payload));
+  for (uint64_t i = 0; i < num_old; ++i) {
+    S2_ASSIGN_OR_RETURN(uint64_t id, GetVarint64(&payload));
+    op.old_ids.push_back(id);
+  }
+  S2_ASSIGN_OR_RETURN(uint64_t num_new, GetVarint64(&payload));
+  for (uint64_t i = 0; i < num_new; ++i) {
+    S2_ASSIGN_OR_RETURN(SegmentMeta meta, SegmentMeta::DecodeFrom(&payload));
+    op.new_metas.push_back(std::move(meta));
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  staged_[txn].push_back(std::move(op));
+  return Status::OK();
+}
+
+}  // namespace s2

@@ -1,0 +1,293 @@
+#ifndef S2_STORAGE_UNIFIED_TABLE_H_
+#define S2_STORAGE_UNIFIED_TABLE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "blob/data_file_store.h"
+#include "columnstore/merger.h"
+#include "columnstore/segment.h"
+#include "columnstore/segment_meta.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "index/global_index.h"
+#include "index/key_lock_manager.h"
+#include "log/partition_log.h"
+#include "rowstore/rowstore_table.h"
+#include "storage/table_options.h"
+#include "txn/txn_manager.h"
+
+namespace s2 {
+
+/// A consistent view of one columnstore segment at a snapshot: the opened
+/// immutable file plus the delete bit-vector version visible at the
+/// snapshot timestamp.
+struct SegmentSnapshot {
+  uint64_t id = 0;
+  std::shared_ptr<Segment> segment;
+  std::shared_ptr<const BitVector> deletes;  // null == nothing deleted
+};
+
+/// An index hit within one segment: where to read the postings list.
+struct SegmentIndexMatch {
+  SegmentSnapshot snapshot;
+  uint32_t postings_offset = 0;
+};
+
+/// Running counters for benchmarks and tests.
+struct TableStats {
+  std::atomic<uint64_t> rows_inserted{0};
+  std::atomic<uint64_t> rows_deleted{0};
+  std::atomic<uint64_t> rows_updated{0};
+  std::atomic<uint64_t> rows_moved{0};       // move-transaction copies
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> merges{0};
+  std::atomic<uint64_t> segments_created{0};
+};
+
+/// Unified table storage (paper Section 4): a columnstore LSM whose level 0
+/// is the in-memory MVCC rowstore, with delete bit-vectors instead of
+/// tombstones, two-level secondary indexes, uniqueness enforcement, and
+/// row-level locking via move transactions.
+///
+/// The table does not own transactions: callers begin/commit through the
+/// Partition, which stamps rowstore versions across all its tables and
+/// writes the log commit record. Everything the table logs is replayable
+/// (see Partition recovery).
+class UnifiedTable {
+ public:
+  UnifiedTable(std::string name, TableOptions options, PartitionLog* log,
+               DataFileStore* files, TxnManager* txns);
+  ~UnifiedTable();
+
+  UnifiedTable(const UnifiedTable&) = delete;
+  UnifiedTable& operator=(const UnifiedTable&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return options_.schema; }
+  const TableOptions& options() const { return options_; }
+  const TableStats& stats() const { return stats_; }
+
+  // ------------------------------------------------------------------
+  // Writes (called within a Partition transaction)
+  // ------------------------------------------------------------------
+
+  /// Inserts a batch. With a unique key, performs the Section 4.1.2
+  /// procedure: lock key values, probe the indexes for duplicates, then
+  /// apply `policy` to conflicting rows. Returns the number of rows
+  /// actually inserted/updated.
+  Result<size_t> InsertRows(TxnId txn, Timestamp read_ts,
+                            const std::vector<Row>& rows,
+                            DupPolicy policy = DupPolicy::kError);
+
+  /// Deletes/updates one located row. Rows in segments are first moved to
+  /// the rowstore by an autonomous move transaction (Section 4.2).
+  Status DeleteLocated(TxnId txn, Timestamp read_ts, const RowLocation& loc);
+  Status UpdateLocated(TxnId txn, Timestamp read_ts, const RowLocation& loc,
+                       const Row& new_row);
+
+  /// Convenience: locate by unique key (latest state) then delete/update.
+  Status DeleteByKey(TxnId txn, Timestamp read_ts, const Row& key);
+  Status UpdateByKey(TxnId txn, Timestamp read_ts, const Row& key,
+                     const Row& new_row);
+
+  // ------------------------------------------------------------------
+  // Reads
+  // ------------------------------------------------------------------
+
+  /// Point/seek read through the secondary index machinery: rowstore index
+  /// seek + global index -> per-segment postings. `index_cols` must equal
+  /// one of the declared indexes (or the unique key, or a prefix subset of
+  /// a multi-column index — per-column indexes are consulted
+  /// independently). cb returns false to stop.
+  Status LookupByIndex(TxnId txn, Timestamp read_ts,
+                       const std::vector<int>& index_cols, const Row& values,
+                       const std::function<bool(const Row&,
+                                                const RowLocation&)>& cb);
+
+  /// Scans the level-0 rowstore (visible rows), yielding user rows and
+  /// their locations.
+  void ScanRowstore(TxnId txn, Timestamp read_ts,
+                    const std::function<bool(const Row&, const RowLocation&)>&
+                        cb) const;
+
+  /// Segment set visible at the snapshot, with per-segment delete vectors.
+  Result<std::vector<SegmentSnapshot>> GetSegments(Timestamp read_ts);
+
+  /// Global-index probe for one column value: returns matches restricted
+  /// to segments visible at read_ts. The caller reads postings from each
+  /// match's segment inverted index.
+  Result<std::vector<SegmentIndexMatch>> IndexLookupSegments(
+      int col, const Value& value, Timestamp read_ts);
+
+  /// Number of distinct hash-table probes a point lookup on `col` costs
+  /// right now (the O(log N) the paper contrasts with O(N) per-segment
+  /// checks).
+  size_t IndexProbeTables(int col) const;
+
+  /// Approximate total live rows (rowstore + segments) at latest.
+  uint64_t ApproxRowCount() const;
+
+  size_t NumSegments() const;
+  size_t RowstoreRows() const { return rowstore_->num_nodes(); }
+
+  // ------------------------------------------------------------------
+  // Maintenance (autonomous transactions)
+  // ------------------------------------------------------------------
+
+  /// Converts up to segment_rows committed rowstore rows into a segment.
+  /// Returns the number of rows flushed (0 when nothing to flush).
+  Result<size_t> FlushRowstore();
+
+  /// Whether a flush is warranted per the flush threshold.
+  bool NeedsFlush() const {
+    return rowstore_->num_nodes() >= options_.flush_threshold;
+  }
+
+  /// Runs one round of LSM merging if the run count exceeds the budget.
+  /// Returns true if a merge happened.
+  Result<bool> MaybeMergeRuns();
+
+  /// Background index maintenance + version GC below `oldest_active`.
+  void Vacuum(Timestamp oldest_active);
+
+  // ------------------------------------------------------------------
+  // Commit integration (called by Partition)
+  // ------------------------------------------------------------------
+
+  void StampCommit(TxnId txn, Timestamp commit_ts);
+  void AbortTxn(TxnId txn);
+
+  // ------------------------------------------------------------------
+  // Snapshot & replay (called by Partition recovery)
+  // ------------------------------------------------------------------
+
+  void SerializeState(std::string* dst) const;
+  Status RestoreState(Slice* input);
+
+  Status ReplayInsert(TxnId txn, Slice payload);
+  Status ReplayDelete(TxnId txn, Slice payload);
+  Status ReplaySegmentFlush(TxnId txn, Slice payload);
+  Status ReplayMetadataUpdate(TxnId txn, Slice payload,
+                              Timestamp commit_ts);
+  Status ReplaySegmentMerge(TxnId txn, Slice payload);
+
+ private:
+  struct SegmentEntry {
+    SegmentMeta meta;  // meta.deletes mirrors the latest delete version
+    Timestamp created_ts = 0;
+    Timestamp dropped_ts = kTsMax;
+    std::shared_ptr<Segment> segment;  // lazily opened
+    /// Whether global-index entries were registered (replicas may install
+    /// metadata before the data file arrives; indexing then happens at
+    /// first open).
+    bool indexed = false;
+    // Delete vector history, ascending commit ts (for snapshot reads).
+    std::vector<std::pair<Timestamp, std::shared_ptr<const BitVector>>>
+        delete_history;
+  };
+
+  struct IndexState {
+    std::vector<int> cols;  // single column, or a tuple for multi-col
+    std::unique_ptr<GlobalIndex> global;
+  };
+
+  // Hidden rowid construction. Fresh inserts get sequential ids; moved
+  // rows get a deterministic id derived from their segment location, so
+  // concurrent movers of the same row collide on the same rowstore key
+  // (the rowstore primary key acts as the row-lock manager, Section 4.2).
+  int64_t NextRowId() { return next_rowid_.fetch_add(1); }
+  static int64_t MovedRowId(uint64_t segment_id, uint32_t offset) {
+    return static_cast<int64_t>((uint64_t{1} << 62) | (segment_id << 24) |
+                                offset);
+  }
+
+  Row WithRowId(const Row& row, int64_t rowid) const;
+
+  Result<std::shared_ptr<Segment>> OpenSegmentLocked(SegmentEntry* entry);
+  std::shared_ptr<const BitVector> DeletesAt(const SegmentEntry& entry,
+                                             Timestamp ts) const;
+
+  /// Latest-state duplicate probe for uniqueness enforcement.
+  Result<bool> FindDuplicate(TxnId txn, const Row& key_values,
+                             RowLocation* loc);
+
+  /// Moves segment rows into the rowstore in an autonomous transaction
+  /// that commits immediately (logical table content unchanged). The
+  /// caller then mutates the moved copies under their own row locks.
+  Status MoveRows(uint64_t segment_id,
+                  const std::vector<uint32_t>& offsets);
+
+  /// Index-driven segment-row lookup shared by LookupByIndex and
+  /// uniqueness checks: per-column global index probes narrowed by the
+  /// tuple index, postings intersection, delete-bit check. cb gets
+  /// (row, segment_id, offset) and returns false to stop; returns whether
+  /// any row was found.
+  Result<bool> LookupSegmentsByCols(
+      const std::vector<int>& cols, const Row& values, Timestamp read_ts,
+      const std::function<bool(const Row&, uint64_t, uint32_t)>& cb);
+
+  /// Installs a freshly built segment (flush/merge/replay share this).
+  Status RegisterSegment(SegmentMeta meta, Timestamp created_ts,
+                         bool new_sorted_run,
+                         const std::shared_ptr<Segment>& opened);
+
+  /// Builds file bytes + aux index blocks for `rows` (already sorted), and
+  /// the metadata. Returns (file bytes, meta).
+  Result<std::pair<std::string, SegmentMeta>> BuildSegment(
+      const std::vector<Row>& rows, uint64_t segment_id, Lsn lsn);
+
+  /// Rebuilds global-index entries for a segment from its aux blocks.
+  Status AddSegmentToIndexes(uint64_t segment_id,
+                             const std::shared_ptr<Segment>& segment);
+
+  bool SegmentLiveLatest(uint64_t id) const;
+
+  std::string name_;
+  TableOptions options_;
+  PartitionLog* log_;
+  DataFileStore* files_;
+  TxnManager* txns_;
+
+  Schema rowstore_schema_;  // user schema + hidden $rowid column
+  std::unique_ptr<RowStoreTable> rowstore_;
+  KeyLockManager key_locks_;
+
+  mutable std::mutex meta_mu_;
+  std::map<uint64_t, SegmentEntry> segments_;
+  /// Live (not merged-away) segment ids, guarded by its own leaf lock so
+  /// the global indexes' liveness callback never takes meta_mu_.
+  mutable std::mutex live_mu_;
+  std::unordered_set<uint64_t> live_segments_;
+  std::vector<SortedRun> runs_;
+  std::atomic<int64_t> next_rowid_{1};
+  std::atomic<uint64_t> next_segment_id_{1};
+
+  std::vector<IndexState> column_indexes_;  // one per distinct indexed col
+  std::vector<IndexState> tuple_indexes_;   // multi-col indexes + unique key
+  std::vector<std::vector<int>> rowstore_index_cols_;  // rowstore index map
+
+  /// Replayed metadata operations staged per transaction; applied with the
+  /// commit timestamp in StampCommit.
+  struct StagedOp {
+    enum Kind { kFlush, kMetadataUpdate, kMerge } kind = kFlush;
+    SegmentMeta meta;                        // kFlush
+    uint64_t segment_id = 0;                 // kMetadataUpdate
+    std::shared_ptr<const BitVector> deletes;  // kMetadataUpdate
+    std::vector<uint64_t> old_ids;           // kMerge
+    std::vector<SegmentMeta> new_metas;      // kMerge
+  };
+  std::map<TxnId, std::vector<StagedOp>> staged_;  // guarded by meta_mu_
+
+  std::mutex maintenance_mu_;  // serializes flush/merge
+  TableStats stats_;
+};
+
+}  // namespace s2
+
+#endif  // S2_STORAGE_UNIFIED_TABLE_H_

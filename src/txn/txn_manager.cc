@@ -1,0 +1,62 @@
+#include "txn/txn_manager.h"
+
+namespace s2 {
+
+TxnManager::TxnHandle TxnManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnHandle handle;
+  handle.id = next_txn_++;
+  handle.read_ts = watermark_;
+  active_reads_.insert(handle.read_ts);
+  txn_reads_[handle.id] = handle.read_ts;
+  return handle;
+}
+
+Timestamp TxnManager::PrepareCommit(TxnId /*txn*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp ts = ++clock_;
+  committing_.insert(ts);
+  return ts;
+}
+
+void TxnManager::FinishCommit(TxnId txn, Timestamp commit_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committing_.erase(commit_ts);
+  // Advance the watermark to just below the oldest still-stamping commit.
+  watermark_ = committing_.empty() ? clock_ : *committing_.begin() - 1;
+  auto it = txn_reads_.find(txn);
+  if (it != txn_reads_.end()) {
+    active_reads_.erase(active_reads_.find(it->second));
+    txn_reads_.erase(it);
+  }
+}
+
+void TxnManager::Abort(TxnId txn) { EndRead(txn); }
+
+void TxnManager::EndRead(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_reads_.find(txn);
+  if (it != txn_reads_.end()) {
+    active_reads_.erase(active_reads_.find(it->second));
+    txn_reads_.erase(it);
+  }
+}
+
+void TxnManager::AdvanceTo(Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_ < ts) clock_ = ts;
+  if (watermark_ < ts && committing_.empty()) watermark_ = ts;
+}
+
+Timestamp TxnManager::watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_;
+}
+
+Timestamp TxnManager::oldest_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_reads_.empty()) return watermark_;
+  return std::min(watermark_, *active_reads_.begin());
+}
+
+}  // namespace s2

@@ -1,0 +1,70 @@
+#ifndef S2_TXN_TXN_MANAGER_H_
+#define S2_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/types.h"
+
+namespace s2 {
+
+/// Partition-local transaction bookkeeping: txn ids, snapshot (read)
+/// timestamps, commit timestamps, and the watermarks that drive garbage
+/// collection. Implements partition-local snapshot isolation (paper Section
+/// 2.1.2: "reads need to use partition-local snapshot isolation to
+/// guarantee a consistent view of the table").
+///
+/// Visibility watermark: a new snapshot only sees commit timestamps whose
+/// stamping has fully finished, so a scan never observes half of a commit.
+class TxnManager {
+ public:
+  struct TxnHandle {
+    TxnId id = 0;
+    Timestamp read_ts = 0;
+  };
+
+  TxnManager() = default;
+
+  /// Starts a transaction: fresh id, snapshot at the current watermark.
+  TxnHandle Begin();
+
+  /// Allocates the commit timestamp. The caller stamps its versions with it
+  /// and then calls FinishCommit; the watermark does not pass this
+  /// timestamp until then.
+  Timestamp PrepareCommit(TxnId txn);
+
+  /// Marks the commit fully applied; advances the visibility watermark.
+  void FinishCommit(TxnId txn, Timestamp commit_ts);
+
+  /// Ends a transaction without commit.
+  void Abort(TxnId txn);
+
+  /// Ends a read-only transaction (releases its snapshot for GC).
+  void EndRead(TxnId txn);
+
+  /// Latest timestamp at which every commit is fully visible.
+  Timestamp watermark() const;
+
+  /// Bumps the clock and watermark to at least `ts` (recovery: restored
+  /// rows were stamped with explicit timestamps).
+  void AdvanceTo(Timestamp ts);
+
+  /// Oldest read snapshot still active (== watermark when none): versions
+  /// below this can be purged.
+  Timestamp oldest_active() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_txn_ = 1;
+  Timestamp clock_ = 0;      // last allocated commit ts
+  Timestamp watermark_ = 0;  // all commits <= watermark_ fully applied
+  std::set<Timestamp> committing_;          // allocated, not yet finished
+  std::multiset<Timestamp> active_reads_;   // snapshots of live txns
+  std::map<TxnId, Timestamp> txn_reads_;    // txn -> its snapshot
+};
+
+}  // namespace s2
+
+#endif  // S2_TXN_TXN_MANAGER_H_

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blob/blob_store.h"
+#include "blob/data_file_store.h"
+#include "common/env.h"
+
+namespace s2 {
+namespace {
+
+std::shared_ptr<const std::string> Bytes(std::string s) {
+  return std::make_shared<const std::string>(std::move(s));
+}
+
+TEST(MemBlobStoreTest, PutGetDeleteList) {
+  MemBlobStore blob;
+  ASSERT_TRUE(blob.Put("a/1", "one").ok());
+  ASSERT_TRUE(blob.Put("a/2", "two").ok());
+  ASSERT_TRUE(blob.Put("b/1", "three").ok());
+
+  EXPECT_EQ(*blob.Get("a/1"), "one");
+  EXPECT_TRUE(blob.Get("a/9").status().IsNotFound());
+  EXPECT_TRUE(blob.Exists("b/1"));
+
+  auto listed = blob.List("a/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<std::string>{"a/1", "a/2"}));
+
+  ASSERT_TRUE(blob.Delete("a/1").ok());
+  EXPECT_FALSE(blob.Exists("a/1"));
+}
+
+TEST(MemBlobStoreTest, OutageInjection) {
+  MemBlobStore blob;
+  ASSERT_TRUE(blob.Put("k", "v").ok());
+  blob.set_available(false);
+  EXPECT_TRUE(blob.Put("k2", "v").IsUnavailable());
+  EXPECT_TRUE(blob.Get("k").status().IsUnavailable());
+  blob.set_available(true);
+  EXPECT_EQ(*blob.Get("k"), "v");
+}
+
+TEST(MemBlobStoreTest, StatsCount) {
+  MemBlobStore blob;
+  ASSERT_TRUE(blob.Put("k", "12345").ok());
+  (void)*blob.Get("k");
+  EXPECT_EQ(blob.stats().puts.load(), 1u);
+  EXPECT_EQ(blob.stats().gets.load(), 1u);
+  EXPECT_EQ(blob.stats().bytes_uploaded.load(), 5u);
+  EXPECT_EQ(blob.stats().bytes_downloaded.load(), 5u);
+}
+
+TEST(LocalDirBlobStoreTest, RoundTrip) {
+  auto dir = MakeTempDir("s2-blobdir");
+  ASSERT_TRUE(dir.ok());
+  LocalDirBlobStore blob(*dir);
+  ASSERT_TRUE(blob.Put("db/part0/file_1", "contents").ok());
+  EXPECT_EQ(*blob.Get("db/part0/file_1"), "contents");
+  EXPECT_TRUE(blob.Exists("db/part0/file_1"));
+  auto listed = blob.List("db/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 1u);
+  ASSERT_TRUE(blob.Delete("db/part0/file_1").ok());
+  EXPECT_FALSE(blob.Exists("db/part0/file_1"));
+  (void)RemoveDirRecursive(*dir);
+}
+
+DataFileStoreOptions SyncOptions() {
+  DataFileStoreOptions opts;
+  opts.blob_prefix = "part0/";
+  opts.background_uploads = false;
+  return opts;
+}
+
+TEST(DataFileStoreTest, WriteIsLocalUploadIsAsync) {
+  MemBlobStore blob;
+  DataFileStore store(&blob, SyncOptions());
+  ASSERT_TRUE(store.Write("f1", Bytes("data1")).ok());
+  // Commit path: zero blob writes so far.
+  EXPECT_EQ(blob.stats().puts.load(), 0u);
+  EXPECT_EQ(store.PendingUploads(), 1u);
+  EXPECT_TRUE(store.IsLocal("f1"));
+
+  ASSERT_TRUE(store.DrainUploads().ok());
+  EXPECT_EQ(blob.stats().puts.load(), 1u);
+  EXPECT_EQ(store.PendingUploads(), 0u);
+  EXPECT_TRUE(blob.Exists("part0/f1"));
+}
+
+TEST(DataFileStoreTest, ReadThroughAfterEviction) {
+  MemBlobStore blob;
+  auto opts = SyncOptions();
+  opts.local_cache_bytes = 10;  // tiny cache forces eviction
+  DataFileStore store(&blob, opts);
+  ASSERT_TRUE(store.Write("f1", Bytes(std::string(8, 'a'))).ok());
+  ASSERT_TRUE(store.Write("f2", Bytes(std::string(8, 'b'))).ok());
+  // Not yet uploaded: both pinned despite cache pressure.
+  EXPECT_TRUE(store.IsLocal("f1"));
+  EXPECT_TRUE(store.IsLocal("f2"));
+
+  ASSERT_TRUE(store.DrainUploads().ok());
+  store.EvictCold();
+  // Cache budget is 10 bytes; at least one file must have been evicted.
+  EXPECT_TRUE(!store.IsLocal("f1") || !store.IsLocal("f2"));
+
+  auto f1 = store.Read("f1");
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(**f1, std::string(8, 'a'));
+  EXPECT_GE(store.stats().blob_fetches.load() +
+                store.stats().local_hits.load(),
+            1u);
+}
+
+TEST(DataFileStoreTest, UploadFailureKeepsFilePinned) {
+  MemBlobStore blob;
+  auto opts = SyncOptions();
+  opts.local_cache_bytes = 1;  // pressure on, but unuploaded files pinned
+  DataFileStore store(&blob, opts);
+  blob.set_available(false);
+  ASSERT_TRUE(store.Write("f1", Bytes("important")).ok());
+  EXPECT_TRUE(store.DrainUploads().IsUnavailable());
+  // Blob outage must not lose the file or evict it.
+  EXPECT_TRUE(store.IsLocal("f1"));
+  EXPECT_EQ(**store.Read("f1"), "important");
+
+  blob.set_available(true);
+  ASSERT_TRUE(store.DrainUploads().ok());
+  EXPECT_TRUE(blob.Exists("part0/f1"));
+}
+
+TEST(DataFileStoreTest, SteadyStateSurvivesOutageWithinWorkingSet) {
+  MemBlobStore blob;
+  DataFileStore store(&blob, SyncOptions());
+  ASSERT_TRUE(store.Write("hot", Bytes("hot-data")).ok());
+  ASSERT_TRUE(store.DrainUploads().ok());
+
+  blob.set_available(false);
+  // Reads within the cached working set keep working through the outage.
+  auto r = store.Read("hot");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, "hot-data");
+  // New writes also keep working (local-first, upload deferred).
+  ASSERT_TRUE(store.Write("new", Bytes("new-data")).ok());
+  EXPECT_EQ(**store.Read("new"), "new-data");
+}
+
+TEST(DataFileStoreTest, RemoveKeepsBlobHistory) {
+  MemBlobStore blob;
+  DataFileStore store(&blob, SyncOptions());
+  ASSERT_TRUE(store.Write("f1", Bytes("v")).ok());
+  ASSERT_TRUE(store.DrainUploads().ok());
+  ASSERT_TRUE(store.Remove("f1").ok());
+  EXPECT_FALSE(store.IsLocal("f1"));
+  // History retained in blob for PITR.
+  EXPECT_TRUE(blob.Exists("part0/f1"));
+  // And still readable (re-fetched from history).
+  EXPECT_EQ(**store.Read("f1"), "v");
+}
+
+TEST(DataFileStoreTest, DuplicateWriteRejected) {
+  MemBlobStore blob;
+  DataFileStore store(&blob, SyncOptions());
+  ASSERT_TRUE(store.Write("f1", Bytes("v")).ok());
+  EXPECT_TRUE(store.Write("f1", Bytes("w")).IsAlreadyExists());
+}
+
+TEST(DataFileStoreTest, WorksWithoutBlobStore) {
+  DataFileStore store(nullptr, SyncOptions());
+  ASSERT_TRUE(store.Write("f1", Bytes("local-only")).ok());
+  EXPECT_EQ(**store.Read("f1"), "local-only");
+  EXPECT_TRUE(store.DrainUploads().ok());
+  EXPECT_TRUE(store.Read("missing").status().IsNotFound());
+}
+
+TEST(DataFileStoreTest, BackgroundUploaderDrains) {
+  MemBlobStore blob;
+  DataFileStoreOptions opts;
+  opts.blob_prefix = "p/";
+  opts.background_uploads = true;
+  DataFileStore store(&blob, opts);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Write("f" + std::to_string(i), Bytes("data")).ok());
+  }
+  ASSERT_TRUE(store.DrainUploads().ok());
+  EXPECT_EQ(store.PendingUploads(), 0u);
+  EXPECT_EQ(blob.stats().puts.load(), 20u);
+}
+
+}  // namespace
+}  // namespace s2

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "blob/blob_store.h"
+#include "cluster/cluster.h"
+#include "common/env.h"
+#include "query/plan.h"
+
+namespace s2 {
+namespace {
+
+TableOptions AccountsTable() {
+  TableOptions opts;
+  opts.schema = Schema({{"id", DataType::kInt64},
+                        {"owner", DataType::kString},
+                        {"balance", DataType::kDouble}});
+  opts.indexes = {{0}};
+  opts.unique_key = {0};
+  opts.segment_rows = 64;
+  opts.flush_threshold = 64;
+  return opts;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("s2-cluster");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override {
+    cluster_.reset();
+    (void)RemoveDirRecursive(dir_);
+  }
+
+  void Start(int partitions = 4, int nodes = 2, int replicas = 1) {
+    ClusterOptions opts;
+    opts.dir = dir_;
+    opts.num_partitions = partitions;
+    opts.num_nodes = nodes;
+    opts.ha_replicas = replicas;
+    opts.blob = &blob_;
+    opts.auto_maintain = false;
+    cluster_ = std::make_unique<Cluster>(opts);
+    ASSERT_TRUE(cluster_->Start().ok());
+    ASSERT_TRUE(cluster_->CreateTable("accounts", AccountsTable(), {0}).ok());
+  }
+
+  void InsertAccounts(int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(cluster_
+                      ->InsertRows("accounts",
+                                   {{Value(i), Value("u" + std::to_string(i)),
+                                     Value(i * 10.0)}})
+                      .ok());
+    }
+  }
+
+  // Counts rows across partitions (or a workspace).
+  size_t TotalRows(int workspace = -1) {
+    auto rows = cluster_->ScatterQuery(
+        [] {
+          return std::make_unique<ScanOp>("accounts", std::vector<int>{0});
+        },
+        workspace);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? rows->size() : 0;
+  }
+
+  std::string dir_;
+  MemBlobStore blob_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterTest, RowsSpreadAcrossPartitions) {
+  Start();
+  InsertAccounts(200);
+  EXPECT_EQ(TotalRows(), 200u);
+  // Every partition should own some rows under hash sharding.
+  int nonempty = 0;
+  for (int p = 0; p < cluster_->num_partitions(); ++p) {
+    auto t = cluster_->partition(p)->GetTable("accounts");
+    ASSERT_TRUE(t.ok());
+    if ((*t)->ApproxRowCount() > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 4);
+}
+
+TEST_F(ClusterTest, RoutingIsDeterministic) {
+  Start();
+  Row row = {Value(int64_t{42}), Value("x"), Value(0.0)};
+  auto p1 = cluster_->PartitionForRow("accounts", row);
+  auto p2 = cluster_->PartitionForRow("accounts", row);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, *p2);
+}
+
+TEST_F(ClusterTest, MultiPartitionTransaction) {
+  Start();
+  InsertAccounts(20);
+  // Move balance between two accounts on (very likely) different
+  // partitions.
+  auto txn = cluster_->BeginTxn();
+  int p_from = *cluster_->PartitionForRow(
+      "accounts", {Value(int64_t{1}), Value(""), Value(0.0)});
+  int p_to = *cluster_->PartitionForRow(
+      "accounts", {Value(int64_t{2}), Value(""), Value(0.0)});
+  auto h_from = txn.On(p_from);
+  auto h_to = txn.On(p_to);
+  ASSERT_TRUE(txn.table(p_from, "accounts")
+                  ->UpdateByKey(h_from.id, h_from.read_ts, {Value(int64_t{1})},
+                                {Value(int64_t{1}), Value("u1"), Value(0.0)})
+                  .ok());
+  ASSERT_TRUE(txn.table(p_to, "accounts")
+                  ->UpdateByKey(h_to.id, h_to.read_ts, {Value(int64_t{2})},
+                                {Value(int64_t{2}), Value("u2"), Value(30.0)})
+                  .ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(TotalRows(), 20u);
+}
+
+TEST_F(ClusterTest, ReplicasApplyContinuously) {
+  Start(/*partitions=*/2, /*nodes=*/2, /*replicas=*/1);
+  InsertAccounts(50);
+  // Kill node 0; partitions mastered there fail over.
+  cluster_->KillNode(0);
+  auto promoted = cluster_->RunFailureDetector();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_GE(*promoted, 1);
+  // All data still present after failover.
+  EXPECT_EQ(TotalRows(), 50u);
+  // And the cluster still accepts writes.
+  ASSERT_TRUE(cluster_
+                  ->InsertRows("accounts",
+                               {{Value(int64_t{1000}), Value("after"),
+                                 Value(1.0)}})
+                  .ok());
+  EXPECT_EQ(TotalRows(), 51u);
+}
+
+TEST_F(ClusterTest, CommitFailsWhenAllReplicasDown) {
+  Start(/*partitions=*/1, /*nodes=*/2, /*replicas=*/1);
+  InsertAccounts(5);
+  // The replica lives on node 1; kill it. Without any acking replica the
+  // commit must fail (durability requires >= 1 ack).
+  cluster_->KillNode(1);
+  Status s = cluster_->InsertRows(
+      "accounts", {{Value(int64_t{100}), Value("x"), Value(0.0)}});
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST_F(ClusterTest, WorkspaceServesIsolatedReads) {
+  Start(/*partitions=*/2, /*nodes=*/2, /*replicas=*/1);
+  InsertAccounts(100);
+  ASSERT_TRUE(cluster_->UploadAllToBlob().ok());
+
+  auto ws = cluster_->CreateWorkspace();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_EQ(TotalRows(*ws), 100u)
+      << "workspace bootstrapped from blob + log tail sees all data";
+
+  // New writes stream to the workspace asynchronously.
+  for (int64_t i = 100; i < 120; ++i) {
+    ASSERT_TRUE(cluster_
+                    ->InsertRows("accounts",
+                                 {{Value(i), Value("w"), Value(0.0)}})
+                    .ok());
+  }
+  // Wait for the async apply thread to drain (the paper reports <1ms of
+  // lag; give it a generous bound here).
+  for (int spin = 0; spin < 2000 && cluster_->WorkspaceLagBytes(*ws) > 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(cluster_->WorkspaceLagBytes(*ws), 0u)
+      << "every durable byte should be applied once the stream drains";
+  EXPECT_EQ(TotalRows(*ws), 120u);
+}
+
+TEST_F(ClusterTest, WorkspaceDoesNotGateCommits) {
+  Start(/*partitions=*/1, /*nodes=*/2, /*replicas=*/1);
+  InsertAccounts(10);
+  ASSERT_TRUE(cluster_->UploadAllToBlob().ok());
+  auto ws = cluster_->CreateWorkspace();
+  ASSERT_TRUE(ws.ok());
+  // Writes succeed regardless of workspace state (it never acks).
+  ASSERT_TRUE(cluster_
+                  ->InsertRows("accounts",
+                               {{Value(int64_t{500}), Value("y"), Value(0.0)}})
+                  .ok());
+}
+
+TEST_F(ClusterTest, PointInTimeRestoreFromBlobHistory) {
+  Start(/*partitions=*/1, /*nodes=*/2, /*replicas=*/1);
+  InsertAccounts(30);
+  ASSERT_TRUE(cluster_->UploadAllToBlob().ok());
+  Lsn checkpoint = cluster_->partition(0)->log()->durable_lsn();
+
+  for (int64_t i = 30; i < 60; ++i) {
+    ASSERT_TRUE(cluster_
+                    ->InsertRows("accounts",
+                                 {{Value(i), Value("late"), Value(0.0)}})
+                    .ok());
+  }
+  ASSERT_TRUE(cluster_->UploadAllToBlob().ok());
+
+  // Restore partition 0 to the checkpoint, into a fresh directory.
+  auto restored =
+      cluster_->RestorePartitionToLsn(0, checkpoint, dir_ + "/pitr");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto table = (*restored)->GetTable("accounts");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->ApproxRowCount(), 30u)
+      << "PITR state excludes post-checkpoint writes";
+}
+
+TEST_F(ClusterTest, ScatterQueryWithAggregation) {
+  Start();
+  InsertAccounts(100);
+  // Scatter: per-partition partial sums; gather: combine here.
+  auto partials = cluster_->ScatterQuery([] {
+    auto scan = std::make_unique<ScanOp>("accounts", std::vector<int>{2});
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggKind::kSum, Col(0)});
+    aggs.push_back({AggKind::kCount, nullptr});
+    return std::make_unique<AggregateOp>(std::move(scan),
+                                         std::vector<ExprPtr>{},
+                                         std::move(aggs));
+  });
+  ASSERT_TRUE(partials.ok());
+  ASSERT_EQ(partials->size(), 4u);
+  double total = 0;
+  int64_t count = 0;
+  for (const Row& row : *partials) {
+    if (!row[0].is_null()) total += row[0].as_double();
+    count += row[1].as_int();
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(total, 10.0 * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace s2

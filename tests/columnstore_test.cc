@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "columnstore/merger.h"
+#include "columnstore/segment.h"
+#include "columnstore/segment_meta.h"
+#include "common/rng.h"
+
+namespace s2 {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"tag", DataType::kString},
+                 {"score", DataType::kDouble}});
+}
+
+Row MakeRow(int64_t id, std::string tag, double score) {
+  return Row{Value(id), Value(std::move(tag)), Value(score)};
+}
+
+std::shared_ptr<Segment> BuildSegment(const std::vector<Row>& rows) {
+  SegmentBuilder builder(TestSchema());
+  for (const Row& row : rows) builder.AddRow(row);
+  auto file = builder.Finish();
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  auto segment =
+      Segment::Open(std::make_shared<const std::string>(std::move(*file)));
+  EXPECT_TRUE(segment.ok()) << segment.status().ToString();
+  return *segment;
+}
+
+TEST(SegmentTest, BuildOpenReadRows) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back(MakeRow(i, "tag" + std::to_string(i % 3), i * 0.25));
+  }
+  auto segment = BuildSegment(rows);
+  ASSERT_EQ(segment->num_rows(), 100u);
+  ASSERT_EQ(segment->num_columns(), 3u);
+  for (uint32_t r = 0; r < 100; ++r) {
+    auto row = segment->ReadRow(r);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(*row, rows[r]) << "row " << r;
+  }
+  EXPECT_FALSE(segment->ReadRow(100).ok());
+}
+
+TEST(SegmentTest, ColumnStatsComputed) {
+  auto segment = BuildSegment({MakeRow(5, "b", 2.5), MakeRow(1, "a", -1.0),
+                               MakeRow(9, "c", 0.0)});
+  EXPECT_EQ(segment->stats(0).min, Value(int64_t{1}));
+  EXPECT_EQ(segment->stats(0).max, Value(int64_t{9}));
+  EXPECT_EQ(segment->stats(1).min, Value("a"));
+  EXPECT_EQ(segment->stats(1).max, Value("c"));
+  EXPECT_EQ(segment->stats(2).min, Value(-1.0));
+  EXPECT_FALSE(segment->stats(0).has_nulls);
+}
+
+TEST(SegmentTest, StatsEliminationChecks) {
+  ColumnStats stats;
+  stats.min = Value(int64_t{10});
+  stats.max = Value(int64_t{20});
+  EXPECT_TRUE(stats.MayContain(Value(int64_t{15})));
+  EXPECT_TRUE(stats.MayContain(Value(int64_t{10})));
+  EXPECT_FALSE(stats.MayContain(Value(int64_t{9})));
+  EXPECT_FALSE(stats.MayContain(Value(int64_t{21})));
+  EXPECT_FALSE(stats.MayContain(Value::Null()));
+  EXPECT_TRUE(stats.MayOverlap(Value(int64_t{18}), Value(int64_t{30})));
+  EXPECT_FALSE(stats.MayOverlap(Value(int64_t{21}), Value(int64_t{30})));
+  EXPECT_TRUE(stats.MayOverlap(Value::Null(), Value(int64_t{12})));
+  EXPECT_FALSE(stats.MayOverlap(Value::Null(), Value(int64_t{9})));
+}
+
+TEST(SegmentTest, NullsTrackedInStats) {
+  SegmentBuilder builder(TestSchema());
+  builder.AddRow({Value(int64_t{1}), Value::Null(), Value(1.0)});
+  builder.AddRow({Value(int64_t{2}), Value("x"), Value(2.0)});
+  auto file = builder.Finish();
+  auto segment =
+      Segment::Open(std::make_shared<const std::string>(std::move(*file)));
+  ASSERT_TRUE(segment.ok());
+  EXPECT_TRUE((*segment)->stats(1).has_nulls);
+  EXPECT_EQ((*segment)->ReadRow(0)->at(1), Value::Null());
+}
+
+TEST(SegmentTest, AuxBlocksRoundTrip) {
+  SegmentBuilder builder(TestSchema());
+  builder.AddRow(MakeRow(1, "a", 1.0));
+  builder.AddAuxBlock("idx.tag", "inverted-index-bytes");
+  builder.AddAuxBlock("idx.id", "other-bytes");
+  auto file = builder.Finish();
+  auto segment =
+      Segment::Open(std::make_shared<const std::string>(std::move(*file)));
+  ASSERT_TRUE(segment.ok());
+  auto block = (*segment)->aux_block("idx.tag");
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->ToString(), "inverted-index-bytes");
+  EXPECT_EQ((*segment)->aux_block("idx.id")->ToString(), "other-bytes");
+  EXPECT_TRUE((*segment)->aux_block("absent").status().IsNotFound());
+}
+
+TEST(SegmentTest, CorruptFooterRejected) {
+  SegmentBuilder builder(TestSchema());
+  builder.AddRow(MakeRow(1, "a", 1.0));
+  auto file = builder.Finish();
+  std::string corrupt = *file;
+  corrupt[corrupt.size() - 10] ^= 0xff;
+  EXPECT_FALSE(
+      Segment::Open(std::make_shared<const std::string>(corrupt)).ok());
+  std::string truncated = file->substr(0, 4);
+  EXPECT_FALSE(
+      Segment::Open(std::make_shared<const std::string>(truncated)).ok());
+}
+
+TEST(SegmentMetaTest, EncodeDecodeRoundTrip) {
+  SegmentMeta meta;
+  meta.id = 42;
+  meta.file_name = "seg_00000000000000001234_42";
+  meta.num_rows = 1000;
+  ColumnStats s;
+  s.min = Value(int64_t{1});
+  s.max = Value(int64_t{99});
+  meta.stats.push_back(s);
+  BitVector deletes(1000);
+  deletes.Set(5);
+  deletes.Set(999);
+  meta.deletes = std::make_shared<const BitVector>(std::move(deletes));
+
+  std::string buf;
+  meta.EncodeTo(&buf);
+  Slice in(buf);
+  auto decoded = SegmentMeta::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 42u);
+  EXPECT_EQ(decoded->file_name, meta.file_name);
+  EXPECT_EQ(decoded->num_rows, 1000u);
+  EXPECT_EQ(decoded->live_rows(), 998u);
+  EXPECT_TRUE(decoded->deletes->Get(5));
+  EXPECT_FALSE(decoded->deletes->Get(6));
+}
+
+TEST(RunPolicyTest, HealthyTreeNoMerge) {
+  std::vector<SortedRun> runs(3);
+  for (auto& r : runs) r.total_rows = 100;
+  EXPECT_TRUE(PickRunsToMerge(runs, 4).empty());
+}
+
+TEST(RunPolicyTest, MergesSmallestRuns) {
+  std::vector<SortedRun> runs(6);
+  uint64_t sizes[] = {1000, 10, 500, 20, 5000, 30};
+  for (int i = 0; i < 6; ++i) runs[i].total_rows = sizes[i];
+  auto picked = PickRunsToMerge(runs, 4);
+  // 6 runs, max 4: merge the 3 smallest (10, 20, 30) = indices 1, 3, 5.
+  EXPECT_EQ(picked, (std::vector<size_t>{1, 3, 5}));
+}
+
+TEST(RunPolicyTest, RunCountStaysLogarithmic) {
+  // Simulate many flushes with the policy applied after each.
+  std::vector<SortedRun> runs;
+  size_t max_observed = 0;
+  for (int flush = 0; flush < 1000; ++flush) {
+    runs.push_back(SortedRun{{}, 64});
+    for (;;) {
+      auto picked = PickRunsToMerge(runs, 8);
+      if (picked.empty()) break;
+      SortedRun merged;
+      for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
+        merged.total_rows += runs[*it].total_rows;
+        runs.erase(runs.begin() + static_cast<long>(*it));
+      }
+      runs.push_back(merged);
+    }
+    max_observed = std::max(max_observed, runs.size());
+  }
+  EXPECT_LE(max_observed, 9u);
+}
+
+TEST(MergerTest, SortedMergeDropsDeletes) {
+  auto seg1 = BuildSegment({MakeRow(1, "a", 1), MakeRow(3, "c", 3),
+                            MakeRow(5, "e", 5)});
+  auto seg2 = BuildSegment({MakeRow(2, "b", 2), MakeRow(4, "d", 4),
+                            MakeRow(6, "f", 6)});
+  auto deletes2 = std::make_shared<BitVector>(3);
+  deletes2->Set(1);  // delete id=4
+
+  SegmentMerger merger(TestSchema(), {0}, 100);
+  RowMapping mapping;
+  auto files = merger.Merge(
+      {{seg1, nullptr}, {seg2, std::shared_ptr<const BitVector>(deletes2)}},
+      &mapping);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  ASSERT_EQ(files->size(), 1u);
+  auto merged =
+      Segment::Open(std::make_shared<const std::string>((*files)[0]));
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ((*merged)->num_rows(), 5u);
+  std::vector<int64_t> ids;
+  for (uint32_t r = 0; r < 5; ++r) {
+    ids.push_back((*merged)->ReadRow(r)->at(0).as_int());
+  }
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 2, 3, 5, 6}));
+
+  // Mapping: seg1 rows land at output rows 0, 2, 3; seg2 row 1 dropped.
+  EXPECT_EQ(mapping.where[0][0], (std::pair<uint32_t, uint32_t>{0, 0}));
+  EXPECT_EQ(mapping.where[0][1], (std::pair<uint32_t, uint32_t>{0, 2}));
+  EXPECT_EQ(mapping.where[1][1].second, RowMapping::kDropped);
+  EXPECT_EQ(mapping.where[1][0], (std::pair<uint32_t, uint32_t>{0, 1}));
+}
+
+TEST(MergerTest, SplitsIntoBoundedSegments) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 250; ++i) rows.push_back(MakeRow(i, "x", i));
+  auto seg = BuildSegment(rows);
+  SegmentMerger merger(TestSchema(), {0}, 100);
+  auto files = merger.Merge({{seg, nullptr}}, nullptr);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 3u);  // 100 + 100 + 50
+  auto last =
+      Segment::Open(std::make_shared<const std::string>(files->back()));
+  EXPECT_EQ((*last)->num_rows(), 50u);
+}
+
+TEST(MergerTest, NoSortKeyConcatenatesInOrder) {
+  auto seg1 = BuildSegment({MakeRow(9, "z", 9), MakeRow(1, "a", 1)});
+  auto seg2 = BuildSegment({MakeRow(5, "m", 5)});
+  SegmentMerger merger(TestSchema(), {}, 100);
+  auto files = merger.Merge({{seg1, nullptr}, {seg2, nullptr}}, nullptr);
+  ASSERT_TRUE(files.ok());
+  auto merged =
+      Segment::Open(std::make_shared<const std::string>((*files)[0]));
+  std::vector<int64_t> ids;
+  for (uint32_t r = 0; r < (*merged)->num_rows(); ++r) {
+    ids.push_back((*merged)->ReadRow(r)->at(0).as_int());
+  }
+  EXPECT_EQ(ids, (std::vector<int64_t>{9, 1, 5}));
+}
+
+TEST(MergerTest, AllRowsDeletedYieldsNoFiles) {
+  auto seg = BuildSegment({MakeRow(1, "a", 1)});
+  auto deletes = std::make_shared<BitVector>(1);
+  deletes->Set(0);
+  SegmentMerger merger(TestSchema(), {0}, 100);
+  auto files =
+      merger.Merge({{seg, std::shared_ptr<const BitVector>(deletes)}}, nullptr);
+  ASSERT_TRUE(files.ok());
+  EXPECT_TRUE(files->empty());
+}
+
+// Property sweep: merge random sorted segments and verify global order and
+// exact multiset of surviving rows.
+class MergerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergerPropertyTest, MergePreservesRowsAndOrder) {
+  Rng rng(GetParam());
+  size_t num_segments = 2 + rng.Uniform(4);
+  std::vector<MergeInput> inputs;
+  std::vector<int64_t> expected;
+  for (size_t s = 0; s < num_segments; ++s) {
+    size_t n = 1 + rng.Uniform(200);
+    std::vector<int64_t> keys;
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(static_cast<int64_t>(rng.Uniform(1000)));
+    }
+    std::sort(keys.begin(), keys.end());
+    std::vector<Row> rows;
+    auto deletes = std::make_shared<BitVector>(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(MakeRow(keys[i], "t", 0));
+      if (rng.Bernoulli(0.2)) {
+        deletes->Set(static_cast<uint32_t>(i));
+      } else {
+        expected.push_back(keys[i]);
+      }
+    }
+    inputs.push_back(
+        {BuildSegment(rows), std::shared_ptr<const BitVector>(deletes)});
+  }
+  std::sort(expected.begin(), expected.end());
+
+  SegmentMerger merger(TestSchema(), {0}, 64);
+  auto files = merger.Merge(inputs, nullptr);
+  ASSERT_TRUE(files.ok());
+  std::vector<int64_t> actual;
+  for (const std::string& f : *files) {
+    auto seg = Segment::Open(std::make_shared<const std::string>(f));
+    ASSERT_TRUE(seg.ok());
+    for (uint32_t r = 0; r < (*seg)->num_rows(); ++r) {
+      actual.push_back((*seg)->ReadRow(r)->at(0).as_int());
+    }
+  }
+  EXPECT_EQ(actual, expected) << "merged output must be the sorted multiset "
+                                 "of undeleted input rows";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergerPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace s2

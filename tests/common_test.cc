@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "common/bitvector.h"
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "common/types.h"
+
+namespace s2 {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Aborted("conflict");
+  Status t = s;
+  EXPECT_TRUE(t.IsAborted());
+  EXPECT_EQ(t.message(), "conflict");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  S2_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+
+  Result<int> err = ParsePositive(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+  EXPECT_EQ(err.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*UseAssignOrReturn(3), 7);
+  EXPECT_FALSE(UseAssignOrReturn(0).ok());
+}
+
+TEST(SliceTest, CompareAndEquality) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  std::string buf;
+  const uint64_t cases[] = {0,    1,        127,        128,
+                            300,  16383,    16384,      (1ULL << 32),
+                            ~0ULL, (1ULL << 63), 0xdeadbeefULL};
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : cases) {
+    auto r = GetVarint64(&in);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.resize(buf.size() - 1);
+  Slice in(buf);
+  EXPECT_FALSE(GetVarint64(&in).ok());
+}
+
+TEST(CodingTest, ZigZag) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-12345},
+                    INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Slice in(buf);
+  EXPECT_EQ(GetLengthPrefixed(&in)->ToString(), "hello");
+  EXPECT_EQ(GetLengthPrefixed(&in)->ToString(), "");
+  EXPECT_EQ(GetLengthPrefixed(&in)->size(), 1000u);
+}
+
+TEST(BitVectorTest, SetGetCount) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.Count(), 0u);
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Count(), 3u);
+  bv.Clear(64);
+  EXPECT_FALSE(bv.Get(64));
+  EXPECT_EQ(bv.Count(), 2u);
+}
+
+TEST(BitVectorTest, EncodeDecodeRoundTrip) {
+  Rng rng(42);
+  BitVector bv(257);
+  for (int i = 0; i < 100; ++i) bv.Set(static_cast<uint32_t>(rng.Uniform(257)));
+  std::string buf;
+  bv.EncodeTo(&buf);
+  Slice in(buf);
+  auto r = BitVector::DecodeFrom(&in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, bv);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(BitVectorTest, UnionAndResize) {
+  BitVector a(10), b(10);
+  a.Set(1);
+  b.Set(2);
+  a.Union(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(2));
+  a.Resize(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_FALSE(a.Get(99));
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Hash64("hello"), Hash64("hello"));
+  EXPECT_NE(Hash64("hello"), Hash64("hellp"));
+  EXPECT_NE(Hash64("a"), Hash64("b"));
+  // Seed changes the hash.
+  EXPECT_NE(Hash64("hello", 1), Hash64("hello", 2));
+  // Spread check: hash many keys, expect few collisions in 64-bit space.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    std::string key = "key" + std::to_string(i);
+    seen.insert(Hash64(key));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(RngTest, DeterministicSequences) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRangeBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ValueTest, CompareOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(int64_t{5})), 0);
+  EXPECT_LT(Value(int64_t{4}).Compare(Value(int64_t{5})), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(5.0)), 0);  // cross-numeric
+  EXPECT_LT(Value(4.5).Compare(Value(int64_t{5})), 0);
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  // Numerics order before strings, deterministically.
+  EXPECT_LT(Value(int64_t{5}).Compare(Value("5")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  Row row = {Value::Null(), Value(int64_t{-42}), Value(3.25), Value("hi"),
+             Value(std::string(500, 'z'))};
+  std::string buf;
+  for (const Value& v : row) v.EncodeTo(&buf);
+  Slice in(buf);
+  for (const Value& v : row) {
+    auto r = Value::DecodeFrom(&in);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v) << v.ToString();
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(ValueTest, EncodeKeyDistinguishesTuples) {
+  EXPECT_NE(EncodeKey(Row{Value("ab"), Value("c")}),
+            EncodeKey(Row{Value("a"), Value("bc")}));
+  EXPECT_EQ(EncodeKey(Row{Value(int64_t{1}), Value("x")}),
+            EncodeKey(Row{Value(int64_t{1}), Value("x")}));
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  EXPECT_EQ(*schema.FindColumn("id"), 0);
+  EXPECT_EQ(*schema.FindColumn("name"), 1);
+  EXPECT_FALSE(schema.FindColumn("absent").ok());
+  EXPECT_EQ(schema.num_columns(), 2u);
+}
+
+}  // namespace
+}  // namespace s2

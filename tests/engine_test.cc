@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "blob/blob_store.h"
+#include "common/env.h"
+#include "engine/database.h"
+#include "query/plan.h"
+
+namespace s2 {
+namespace {
+
+TableOptions ItemsTable() {
+  TableOptions t;
+  t.schema = Schema({{"id", DataType::kInt64},
+                     {"name", DataType::kString},
+                     {"price", DataType::kDouble}});
+  t.unique_key = {0};
+  t.indexes = {{0}};
+  t.segment_rows = 128;
+  t.flush_threshold = 128;
+  return t;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("s2-engine");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursive(dir_); }
+
+  std::unique_ptr<Database> Open(EngineProfile profile,
+                                 BlobStore* blob = nullptr) {
+    DatabaseOptions opts;
+    opts.dir = dir_ + "/" + std::to_string(count_++);
+    opts.blob = blob;
+    opts.profile = profile;
+    auto db = Database::Open(opts);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(*db);
+  }
+
+  size_t CountRows(Database* db) {
+    auto rows = db->Query([] {
+      return std::make_unique<ScanOp>("items", std::vector<int>{0});
+    });
+    EXPECT_TRUE(rows.ok());
+    return rows->size();
+  }
+
+  std::string dir_;
+  int count_ = 0;
+};
+
+TEST_F(EngineTest, UnifiedProfileRoundTrip) {
+  auto db = Open(EngineProfile::kUnified);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 500; ++i) {
+    rows.push_back({Value(i), Value("n" + std::to_string(i)), Value(1.0)});
+  }
+  ASSERT_TRUE(db->Insert("items", rows).ok());
+  ASSERT_TRUE(db->Maintain().ok());
+  EXPECT_EQ(CountRows(db.get()), 500u);
+  // Data moved into columnstore segments.
+  auto table = *db->cluster()->partition(0)->GetTable("items");
+  EXPECT_GT(table->NumSegments(), 0u);
+}
+
+TEST_F(EngineTest, RowstoreProfileNeverFlushes) {
+  auto db = Open(EngineProfile::kOperationalRowstore);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 500; ++i) {
+    rows.push_back({Value(i), Value("n"), Value(1.0)});
+  }
+  ASSERT_TRUE(db->Insert("items", rows).ok());
+  ASSERT_TRUE(db->Maintain().ok());
+  auto table = *db->cluster()->partition(0)->GetTable("items");
+  EXPECT_EQ(table->NumSegments(), 0u)
+      << "CDB profile keeps all data in the rowstore";
+  EXPECT_EQ(CountRows(db.get()), 500u);
+  // Unique keys still enforced (it's an operational database).
+  EXPECT_TRUE(db->Insert("items", {{Value(int64_t{1}), Value("dup"),
+                                    Value(0.0)}})
+                  .IsAlreadyExists());
+}
+
+TEST_F(EngineTest, WarehouseProfileDropsUniqueEnforcement) {
+  MemBlobStore blob;
+  auto db = Open(EngineProfile::kCloudWarehouse, &blob);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  ASSERT_TRUE(
+      db->Insert("items", {{Value(int64_t{1}), Value("a"), Value(1.0)}}).ok());
+  // The paper: CDWs lack enforced unique constraints — duplicates load.
+  ASSERT_TRUE(
+      db->Insert("items", {{Value(int64_t{1}), Value("b"), Value(2.0)}}).ok());
+  EXPECT_EQ(CountRows(db.get()), 2u);
+}
+
+TEST_F(EngineTest, WarehouseProfileCommitsThroughBlob) {
+  MemBlobStore blob;
+  auto db = Open(EngineProfile::kCloudWarehouse, &blob);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  uint64_t puts_before = blob.stats().puts.load();
+  ASSERT_TRUE(
+      db->Insert("items", {{Value(int64_t{1}), Value("a"), Value(1.0)}}).ok());
+  EXPECT_GT(blob.stats().puts.load(), puts_before)
+      << "CDW baseline persists to blob storage on the commit path";
+}
+
+TEST_F(EngineTest, UnifiedCommitsNeverTouchBlob) {
+  MemBlobStore blob;
+  auto db = Open(EngineProfile::kUnified, &blob);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  uint64_t puts_before = blob.stats().puts.load();
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db->Insert("items", {{Value(i), Value("x"), Value(1.0)}}).ok());
+  }
+  EXPECT_EQ(blob.stats().puts.load(), puts_before);
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_GT(blob.stats().puts.load(), puts_before);
+}
+
+TEST_F(EngineTest, BlobOutageDoesNotBlockUnifiedCommits) {
+  MemBlobStore blob;
+  auto db = Open(EngineProfile::kUnified, &blob);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  blob.set_available(false);
+  // Steady-state writes keep working through a blob outage (Section 3.1).
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        db->Insert("items", {{Value(i), Value("x"), Value(1.0)}}).ok());
+  }
+  ASSERT_TRUE(db->Maintain().IsUnavailable())
+      << "only the background upload path observes the outage";
+  EXPECT_EQ(CountRows(db.get()), 300u);
+  blob.set_available(true);
+  EXPECT_TRUE(db->Maintain().ok());
+}
+
+TEST_F(EngineTest, TransactionAcrossTables) {
+  auto db = Open(EngineProfile::kUnified);
+  ASSERT_TRUE(db->CreateTable("items", ItemsTable(), {0}).ok());
+  TableOptions audit;
+  audit.schema = Schema({{"seq", DataType::kInt64},
+                         {"what", DataType::kString}});
+  audit.unique_key = {0};
+  ASSERT_TRUE(db->CreateTable("audit", audit, {0}).ok());
+
+  auto txn = db->Begin();
+  auto h = txn.On(0);
+  ASSERT_TRUE(txn.table(0, "items")
+                  ->InsertRows(h.id, h.read_ts,
+                               {{Value(int64_t{1}), Value("a"), Value(1.0)}})
+                  .ok());
+  ASSERT_TRUE(txn.table(0, "audit")
+                  ->InsertRows(h.id, h.read_ts,
+                               {{Value(int64_t{1}), Value("insert item 1")}})
+                  .ok());
+  txn.Abort();
+  EXPECT_EQ(CountRows(db.get()), 0u) << "abort must span both tables";
+
+  auto txn2 = db->Begin();
+  auto h2 = txn2.On(0);
+  ASSERT_TRUE(txn2.table(0, "items")
+                  ->InsertRows(h2.id, h2.read_ts,
+                               {{Value(int64_t{1}), Value("a"), Value(1.0)}})
+                  .ok());
+  ASSERT_TRUE(txn2.table(0, "audit")
+                  ->InsertRows(h2.id, h2.read_ts,
+                               {{Value(int64_t{1}), Value("insert item 1")}})
+                  .ok());
+  ASSERT_TRUE(txn2.Commit().ok());
+  EXPECT_EQ(CountRows(db.get()), 1u);
+}
+
+}  // namespace
+}  // namespace s2

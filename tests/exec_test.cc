@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blob/blob_store.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "exec/filter.h"
+#include "exec/table_scanner.h"
+#include "storage/partition.h"
+
+namespace s2 {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"category", DataType::kString},
+                 {"price", DataType::kDouble},
+                 {"qty", DataType::kInt64}});
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("s2-exec");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    PartitionOptions opts;
+    opts.dir = dir_;
+    opts.background_uploads = false;
+    opts.auto_maintain = false;
+    partition_ = std::make_unique<Partition>(opts);
+    ASSERT_TRUE(partition_->Init().ok());
+
+    TableOptions table_opts;
+    table_opts.schema = TestSchema();
+    table_opts.sort_key = {0};
+    table_opts.indexes = {{0}, {1}};
+    table_opts.unique_key = {0};
+    table_opts.segment_rows = 256;
+    table_opts.flush_threshold = 256;
+    auto table = partition_->CreateTable("items", table_opts);
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+
+    // 1000 rows: ids 0..999, category cat0..cat9, price = id*0.5,
+    // qty = id % 100. 768 rows flushed into 3 segments, 232 in rowstore.
+    Rng rng(7);
+    for (int64_t i = 0; i < 1000; ++i) {
+      auto h = partition_->Begin();
+      auto r = table_->InsertRows(
+          h.id, h.read_ts,
+          {{Value(i), Value("cat" + std::to_string(i % 10)), Value(i * 0.5),
+            Value(i % 100)}});
+      ASSERT_TRUE(r.ok());
+      ASSERT_TRUE(partition_->Commit(h.id).ok());
+      if ((i + 1) % 256 == 0) {
+        ASSERT_TRUE(table_->FlushRowstore().ok());
+      }
+    }
+    ASSERT_GE(table_->NumSegments(), 3u);
+  }
+
+  void TearDown() override {
+    partition_.reset();
+    (void)RemoveDirRecursive(dir_);
+  }
+
+  // Runs a scan and returns the matched ids (column 0 must be projected
+  // first).
+  std::multiset<int64_t> RunScan(const ScanOptions& base_options,
+                                 ScanStats* stats_out = nullptr) {
+    ScanOptions options = base_options;
+    if (options.projection.empty()) options.projection = {0};
+    TableScanner scanner(table_, options);
+    auto h = partition_->Begin();
+    std::multiset<int64_t> ids;
+    Status s = scanner.Scan(h.id, h.read_ts, [&](const ScanBatch& batch) {
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        ids.insert(batch.columns[0].IntAt(i));
+      }
+      return true;
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    partition_->EndRead(h.id);
+    if (stats_out != nullptr) *stats_out = scanner.stats();
+    return ids;
+  }
+
+  // Brute-force expected ids for a filter.
+  std::multiset<int64_t> Expected(const FilterNode* filter) {
+    std::multiset<int64_t> ids;
+    for (int64_t i = 0; i < 1000; ++i) {
+      Row row = {Value(i), Value("cat" + std::to_string(i % 10)),
+                 Value(i * 0.5), Value(i % 100)};
+      if (filter == nullptr || filter->EvalRow(row)) ids.insert(i);
+    }
+    return ids;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Partition> partition_;
+  UnifiedTable* table_ = nullptr;
+};
+
+TEST_F(ExecTest, FullScanReturnsAllRows) {
+  ScanOptions options;
+  EXPECT_EQ(RunScan(options).size(), 1000u);
+}
+
+TEST_F(ExecTest, EqFilterViaIndex) {
+  auto filter = FilterEq(0, Value(int64_t{500}));
+  ScanOptions options;
+  options.filter = filter.get();
+  ScanStats stats;
+  auto ids = RunScan(options, &stats);
+  EXPECT_EQ(ids, (std::multiset<int64_t>{500}));
+  // id=500 only exists in one segment: the others are eliminated by the
+  // index or zone maps, not scanned.
+  EXPECT_GT(stats.segments_skipped_zone + stats.segments_skipped_index, 0u);
+}
+
+TEST_F(ExecTest, RangeFilterUsesZoneMaps) {
+  auto filter = FilterBetween(0, Value(int64_t{100}), Value(int64_t{150}));
+  ScanOptions options;
+  options.filter = filter.get();
+  ScanStats stats;
+  auto ids = RunScan(options, &stats);
+  EXPECT_EQ(ids, Expected(filter.get()));
+  // Sort key is id, so most segments fall outside [100, 150].
+  EXPECT_GT(stats.segments_skipped_zone, 0u);
+}
+
+TEST_F(ExecTest, CategoryFilterMatchesBruteForce) {
+  auto filter = FilterEq(1, Value("cat3"));
+  ScanOptions options;
+  options.filter = filter.get();
+  auto ids = RunScan(options);
+  EXPECT_EQ(ids, Expected(filter.get()));
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST_F(ExecTest, AndOrTreeMatchesBruteForce) {
+  // (category = cat1 OR category = cat2) AND qty < 50 AND id >= 100
+  std::vector<std::unique_ptr<FilterNode>> or_children;
+  or_children.push_back(FilterEq(1, Value("cat1")));
+  or_children.push_back(FilterEq(1, Value("cat2")));
+  std::vector<std::unique_ptr<FilterNode>> and_children;
+  and_children.push_back(FilterOr(std::move(or_children)));
+  and_children.push_back(FilterCmp(3, CmpOp::kLt, Value(int64_t{50})));
+  and_children.push_back(FilterCmp(0, CmpOp::kGe, Value(int64_t{100})));
+  auto filter = FilterAnd(std::move(and_children));
+
+  ScanOptions options;
+  options.filter = filter.get();
+  EXPECT_EQ(RunScan(options), Expected(filter.get()));
+}
+
+TEST_F(ExecTest, InListFilter) {
+  auto filter =
+      FilterIn(0, {Value(int64_t{1}), Value(int64_t{500}), Value(int64_t{999}),
+                   Value(int64_t{12345})});
+  ScanOptions options;
+  options.filter = filter.get();
+  auto ids = RunScan(options);
+  EXPECT_EQ(ids, (std::multiset<int64_t>{1, 500, 999}));
+}
+
+TEST_F(ExecTest, HugeInListDisablesIndex) {
+  // An IN list with more keys than the index-key budget must fall back to
+  // scanning (Section 5.1) and still return correct results.
+  std::vector<Value> keys;
+  for (int64_t i = 0; i < 400; i += 2) keys.push_back(Value(i));
+  auto filter = FilterIn(0, std::move(keys));
+  ScanOptions options;
+  options.filter = filter.get();
+  options.max_index_key_fraction = 0.01;  // 256-row segments: max ~3 keys
+  ScanStats stats;
+  auto ids = RunScan(options, &stats);
+  EXPECT_EQ(ids, Expected(filter.get()));
+  EXPECT_EQ(stats.index_filter_uses, 0u)
+      << "index must be dynamically disabled for huge key sets";
+}
+
+TEST_F(ExecTest, ProjectionMaterializesRequestedColumns) {
+  auto filter = FilterEq(0, Value(int64_t{42}));
+  ScanOptions options;
+  options.filter = filter.get();
+  options.projection = {0, 2, 1};
+  TableScanner scanner(table_, options);
+  auto h = partition_->Begin();
+  int rows = 0;
+  ASSERT_TRUE(scanner
+                  .Scan(h.id, h.read_ts,
+                        [&](const ScanBatch& batch) {
+                          EXPECT_EQ(batch.columns.size(), 3u);
+                          for (size_t i = 0; i < batch.num_rows; ++i) {
+                            EXPECT_EQ(batch.columns[0].IntAt(i), 42);
+                            EXPECT_EQ(batch.columns[1].DoubleAt(i), 21.0);
+                            EXPECT_EQ(batch.columns[2].StringAt(i), "cat2");
+                            ++rows;
+                          }
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(rows, 1);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(ExecTest, EncodedFilterUsedOnDictionaryColumn) {
+  // category has 10 distinct values over 256-row segments: dictionary
+  // encoded, and a non-index scan over it should use encoded execution.
+  auto filter = FilterEq(1, Value("cat5"));
+  ScanOptions options;
+  options.filter = filter.get();
+  options.use_secondary_index = false;  // force the filter path
+  ScanStats stats;
+  auto ids = RunScan(options, &stats);
+  EXPECT_EQ(ids, Expected(filter.get()));
+  EXPECT_GT(stats.encoded_filter_uses, 0u);
+}
+
+TEST_F(ExecTest, DisablingEncodedStillCorrect) {
+  auto filter = FilterEq(1, Value("cat5"));
+  ScanOptions options;
+  options.filter = filter.get();
+  options.use_secondary_index = false;
+  options.use_encoded_filters = false;
+  ScanStats stats;
+  auto ids = RunScan(options, &stats);
+  EXPECT_EQ(ids, Expected(filter.get()));
+  EXPECT_EQ(stats.encoded_filter_uses, 0u);
+  EXPECT_GT(stats.regular_filter_uses, 0u);
+}
+
+TEST_F(ExecTest, AllTogglesOffStillCorrect) {
+  std::vector<std::unique_ptr<FilterNode>> and_children;
+  and_children.push_back(FilterCmp(0, CmpOp::kLt, Value(int64_t{300})));
+  and_children.push_back(FilterEq(1, Value("cat1")));
+  auto filter = FilterAnd(std::move(and_children));
+  ScanOptions options;
+  options.filter = filter.get();
+  options.use_zone_maps = false;
+  options.use_secondary_index = false;
+  options.use_encoded_filters = false;
+  options.use_group_filter = false;
+  options.adaptive_reorder = false;
+  EXPECT_EQ(RunScan(options), Expected(filter.get()));
+}
+
+TEST_F(ExecTest, EarlyStopOnLimit) {
+  ScanOptions options;
+  options.block_rows = 64;
+  TableScanner scanner(table_, options);
+  auto h = partition_->Begin();
+  size_t rows = 0;
+  ASSERT_TRUE(scanner
+                  .Scan(h.id, h.read_ts,
+                        [&](const ScanBatch& batch) {
+                          rows += batch.num_rows;
+                          return rows < 100;
+                        })
+                  .ok());
+  EXPECT_LT(rows, 1000u);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(ExecTest, ScanSeesConsistentSnapshotDuringWrites) {
+  auto snap = partition_->Begin();
+  // Delete some rows after the snapshot was taken.
+  for (int64_t id : {10, 20, 30}) {
+    auto h = partition_->Begin();
+    ASSERT_TRUE(table_->DeleteByKey(h.id, h.read_ts, {Value(id)}).ok());
+    ASSERT_TRUE(partition_->Commit(h.id).ok());
+  }
+  ScanOptions options;
+  options.projection = {0};
+  TableScanner scanner(table_, options);
+  std::multiset<int64_t> ids;
+  ASSERT_TRUE(scanner
+                  .Scan(snap.id, snap.read_ts,
+                        [&](const ScanBatch& batch) {
+                          for (size_t i = 0; i < batch.num_rows; ++i) {
+                            ids.insert(batch.columns[0].IntAt(i));
+                          }
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(ids.size(), 1000u) << "snapshot scan must not see later deletes";
+  partition_->EndRead(snap.id);
+
+  ScanOptions fresh;
+  EXPECT_EQ(RunScan(fresh).size(), 997u);
+}
+
+// Property sweep: random filter trees match brute force with every toggle
+// combination.
+class ExecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_F(ExecTest, RandomFilterTreesMatchBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Build a random tree of depth <= 2.
+    auto make_leaf = [&]() -> std::unique_ptr<FilterNode> {
+      switch (rng.Uniform(4)) {
+        case 0:
+          return FilterEq(0, Value(static_cast<int64_t>(rng.Uniform(1100))));
+        case 1:
+          return FilterEq(
+              1, Value("cat" + std::to_string(rng.Uniform(12))));
+        case 2: {
+          int64_t lo = static_cast<int64_t>(rng.Uniform(1000));
+          return FilterBetween(0, Value(lo),
+                               Value(lo + static_cast<int64_t>(
+                                              rng.Uniform(300))));
+        }
+        default:
+          return FilterCmp(3, rng.Bernoulli(0.5) ? CmpOp::kLt : CmpOp::kGe,
+                           Value(static_cast<int64_t>(rng.Uniform(100))));
+      }
+    };
+    std::vector<std::unique_ptr<FilterNode>> children;
+    size_t n = 2 + rng.Uniform(3);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        std::vector<std::unique_ptr<FilterNode>> sub;
+        sub.push_back(make_leaf());
+        sub.push_back(make_leaf());
+        children.push_back(rng.Bernoulli(0.5) ? FilterOr(std::move(sub))
+                                              : FilterAnd(std::move(sub)));
+      } else {
+        children.push_back(make_leaf());
+      }
+    }
+    auto filter = rng.Bernoulli(0.7) ? FilterAnd(std::move(children))
+                                     : FilterOr(std::move(children));
+    ScanOptions options;
+    options.filter = filter.get();
+    options.block_rows = 128;
+    EXPECT_EQ(RunScan(options), Expected(filter.get()))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace s2

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "index/global_index.h"
+#include "index/inverted_index.h"
+#include "index/key_lock_manager.h"
+#include "index/postings.h"
+
+namespace s2 {
+namespace {
+
+std::vector<uint32_t> Drain(PostingsIterator it) {
+  std::vector<uint32_t> out;
+  while (it.Valid()) {
+    out.push_back(it.row());
+    it.Next();
+  }
+  return out;
+}
+
+TEST(PostingsTest, EncodeDecodeRoundTrip) {
+  std::vector<uint32_t> rows = {0, 1, 5, 100, 101, 65000, 1000000};
+  std::string buf;
+  EncodePostings(rows, &buf);
+  auto it = PostingsIterator::Open(buf);
+  ASSERT_TRUE(it.ok());
+  EXPECT_EQ(it->count(), rows.size());
+  EXPECT_EQ(Drain(*it), rows);
+}
+
+TEST(PostingsTest, EmptyList) {
+  std::string buf;
+  EncodePostings({}, &buf);
+  auto it = PostingsIterator::Open(buf);
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+  EXPECT_EQ(it->encoded_size(), buf.size());
+}
+
+TEST(PostingsTest, SeekToSkipsGroups) {
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < 10000; ++i) rows.push_back(i * 3);
+  std::string buf;
+  EncodePostings(rows, &buf);
+  auto it = PostingsIterator::Open(buf);
+  ASSERT_TRUE(it.ok());
+  it->SeekTo(15000);
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->row(), 15000u);
+  it->SeekTo(15001);
+  EXPECT_EQ(it->row(), 15003u);
+  it->SeekTo(29997);
+  EXPECT_EQ(it->row(), 29997u);
+  it->SeekTo(30000);
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(PostingsTest, SeekToPropertySweep) {
+  Rng rng(31);
+  std::vector<uint32_t> rows;
+  uint32_t v = 0;
+  for (int i = 0; i < 5000; ++i) {
+    v += 1 + static_cast<uint32_t>(rng.Uniform(20));
+    rows.push_back(v);
+  }
+  std::string buf;
+  EncodePostings(rows, &buf);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t target = static_cast<uint32_t>(rng.Uniform(v + 100));
+    auto it = PostingsIterator::Open(buf);
+    ASSERT_TRUE(it.ok());
+    it->SeekTo(target);
+    auto expect = std::lower_bound(rows.begin(), rows.end(), target);
+    if (expect == rows.end()) {
+      EXPECT_FALSE(it->Valid());
+    } else {
+      ASSERT_TRUE(it->Valid());
+      EXPECT_EQ(it->row(), *expect) << "target " << target;
+    }
+  }
+}
+
+TEST(PostingsTest, EncodedSizeAllowsConcatenation) {
+  std::string buf;
+  EncodePostings({1, 2, 3}, &buf);
+  size_t first_size = buf.size();
+  EncodePostings({10, 20}, &buf);
+  auto first = PostingsIterator::Open(buf);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->encoded_size(), first_size);
+  auto second = PostingsIterator::Open(
+      Slice(buf.data() + first->encoded_size(), buf.size() - first_size));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Drain(*second), (std::vector<uint32_t>{10, 20}));
+}
+
+TEST(PostingsTest, IntersectLeapfrog) {
+  std::string a, b, c;
+  EncodePostings({1, 3, 5, 7, 9, 100, 200}, &a);
+  EncodePostings({2, 3, 7, 8, 100, 150, 200}, &b);
+  EncodePostings({3, 7, 9, 100, 200, 300}, &c);
+  std::vector<PostingsIterator> its;
+  its.push_back(*PostingsIterator::Open(a));
+  its.push_back(*PostingsIterator::Open(b));
+  its.push_back(*PostingsIterator::Open(c));
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(IntersectPostings(std::move(its), &out).ok());
+  EXPECT_EQ(out, (std::vector<uint32_t>{3, 7, 100, 200}));
+}
+
+TEST(PostingsTest, UnionMerges) {
+  std::string a, b;
+  EncodePostings({1, 5, 9}, &a);
+  EncodePostings({2, 5, 10}, &b);
+  std::vector<PostingsIterator> its;
+  its.push_back(*PostingsIterator::Open(a));
+  its.push_back(*PostingsIterator::Open(b));
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(UnionPostings(std::move(its), &out).ok());
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 5, 9, 10}));
+}
+
+TEST(PostingsTest, IntersectRandomAgainstBruteForce) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<uint32_t> sa, sb;
+    for (int i = 0; i < 300; ++i) {
+      sa.insert(static_cast<uint32_t>(rng.Uniform(1000)));
+      sb.insert(static_cast<uint32_t>(rng.Uniform(1000)));
+    }
+    std::vector<uint32_t> va(sa.begin(), sa.end()), vb(sb.begin(), sb.end());
+    std::string ea, eb;
+    EncodePostings(va, &ea);
+    EncodePostings(vb, &eb);
+    std::vector<uint32_t> expected;
+    std::set_intersection(va.begin(), va.end(), vb.begin(), vb.end(),
+                          std::back_inserter(expected));
+    std::vector<PostingsIterator> its;
+    its.push_back(*PostingsIterator::Open(ea));
+    its.push_back(*PostingsIterator::Open(eb));
+    std::vector<uint32_t> out;
+    ASSERT_TRUE(IntersectPostings(std::move(its), &out).ok());
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(InvertedIndexTest, BuildLookup) {
+  ColumnVector col(DataType::kString);
+  col.AppendString("apple");
+  col.AppendString("banana");
+  col.AppendString("apple");
+  col.AppendNull();
+  col.AppendString("cherry");
+  col.AppendString("apple");
+
+  std::string block = InvertedIndexBuilder::Build(col);
+  auto reader = InvertedIndexReader::Open(block);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->num_terms(), 3u);
+
+  auto apple = reader->Lookup(Value("apple"));
+  ASSERT_TRUE(apple.ok());
+  EXPECT_EQ(Drain(*apple), (std::vector<uint32_t>{0, 2, 5}));
+  auto banana = reader->Lookup(Value("banana"));
+  EXPECT_EQ(Drain(*banana), (std::vector<uint32_t>{1}));
+  auto missing = reader->Lookup(Value("durian"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->Valid());
+}
+
+TEST(InvertedIndexTest, TermsReportHashAndOffset) {
+  ColumnVector col(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) col.AppendInt(i % 5);
+  std::vector<InvertedIndexBuilder::TermInfo> terms;
+  std::string block = InvertedIndexBuilder::BuildWithTerms(col, &terms);
+  ASSERT_EQ(terms.size(), 5u);
+  auto reader = InvertedIndexReader::Open(block);
+  ASSERT_TRUE(reader.ok());
+  for (const auto& term : terms) {
+    EXPECT_EQ(term.doc_count, 20u);
+  }
+  // PostingsAt with the correct value works; with a wrong value (hash
+  // collision simulation) it must return an invalid iterator.
+  auto good = reader->PostingsAt(terms[0].postings_offset, Value(int64_t{0}));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->count(), 20u);
+  auto collided =
+      reader->PostingsAt(terms[0].postings_offset, Value(int64_t{999}));
+  ASSERT_TRUE(collided.ok());
+  EXPECT_FALSE(collided->Valid());
+}
+
+TEST(HashTableTest, BuildLookupMultiEntry) {
+  std::vector<IndexEntry> entries = {
+      {111, 1, 10}, {222, 1, 20}, {111, 2, 30}, {333, 3, 40}};
+  std::string bytes = ImmutableHashTable::Build(entries, {1, 2, 3});
+  auto table =
+      ImmutableHashTable::Open(std::make_shared<const std::string>(bytes));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_entries(), 4u);
+
+  std::vector<uint64_t> segs;
+  table->Lookup(111, [&](const IndexEntry& e) { segs.push_back(e.segment_id); });
+  std::sort(segs.begin(), segs.end());
+  EXPECT_EQ(segs, (std::vector<uint64_t>{1, 2}));
+
+  segs.clear();
+  table->Lookup(999, [&](const IndexEntry& e) { segs.push_back(e.segment_id); });
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(HashTableTest, ManyCollidingHashesAllFound) {
+  // Adversarial: many entries whose hashes collide modulo table size.
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < 100; ++i) {
+    entries.push_back({i << 32, i, 0});  // low bits all zero
+  }
+  std::string bytes = ImmutableHashTable::Build(entries, {});
+  auto table =
+      ImmutableHashTable::Open(std::make_shared<const std::string>(bytes));
+  ASSERT_TRUE(table.ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    int found = 0;
+    table->Lookup(i << 32, [&](const IndexEntry&) { ++found; });
+    EXPECT_EQ(found, 1) << i;
+  }
+}
+
+TEST(GlobalIndexTest, AddLookupAcrossTables) {
+  GlobalIndex index(/*max_tables=*/100);  // no merging for this test
+  index.AddSegment(1, {{111, 1, 10}, {222, 1, 20}});
+  index.AddSegment(2, {{111, 2, 30}});
+  index.AddSegment(3, {{333, 3, 40}});
+  EXPECT_EQ(index.num_tables(), 3u);
+
+  std::vector<uint64_t> segs;
+  index.Lookup(111, [&](const IndexEntry& e) { segs.push_back(e.segment_id); });
+  std::sort(segs.begin(), segs.end());
+  EXPECT_EQ(segs, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(GlobalIndexTest, MergeKeepsLookupsAndBoundsTables) {
+  GlobalIndex index(/*max_tables=*/4);
+  for (uint64_t seg = 0; seg < 50; ++seg) {
+    index.AddSegment(seg, {{seg % 7, seg, static_cast<uint32_t>(seg)}});
+  }
+  EXPECT_LE(index.num_tables(), 5u) << "LSM merge keeps table count bounded";
+  std::vector<uint64_t> segs;
+  index.Lookup(3, [&](const IndexEntry& e) { segs.push_back(e.segment_id); });
+  std::sort(segs.begin(), segs.end());
+  EXPECT_EQ(segs, (std::vector<uint64_t>{3, 10, 17, 24, 31, 38, 45}));
+}
+
+TEST(GlobalIndexTest, LazyDeletionSkipsDeadSegments) {
+  GlobalIndex index(/*max_tables=*/100);
+  index.AddSegment(1, {{111, 1, 0}});
+  index.AddSegment(2, {{111, 2, 0}});
+  std::set<uint64_t> live = {2};
+  index.set_live_check([&](uint64_t seg) { return live.count(seg) > 0; });
+
+  std::vector<uint64_t> segs;
+  index.Lookup(111, [&](const IndexEntry& e) { segs.push_back(e.segment_id); });
+  EXPECT_EQ(segs, (std::vector<uint64_t>{2}));
+}
+
+TEST(GlobalIndexTest, MaintainRewritesMostlyDeadTables) {
+  GlobalIndex index(/*max_tables=*/100);
+  index.AddSegment(1, {{111, 1, 0}, {222, 1, 0}});
+  std::set<uint64_t> live = {};
+  index.set_live_check([&](uint64_t seg) { return live.count(seg) > 0; });
+  EXPECT_EQ(index.total_entries(), 2u);
+  EXPECT_TRUE(index.Maintain()) << "table with 100% dead coverage rewritten";
+  EXPECT_EQ(index.total_entries(), 0u);
+}
+
+TEST(GlobalIndexTest, MergeDropsDeadEntries) {
+  GlobalIndex index(/*max_tables=*/2);
+  std::set<uint64_t> live = {0, 1, 2, 3, 4};
+  index.set_live_check([&](uint64_t seg) { return live.count(seg) > 0; });
+  for (uint64_t seg = 0; seg < 5; ++seg) {
+    index.AddSegment(seg, {{42, seg, 0}});
+  }
+  live = {0, 4};
+  index.Maintain();
+  std::vector<uint64_t> segs;
+  index.Lookup(42, [&](const IndexEntry& e) { segs.push_back(e.segment_id); });
+  std::sort(segs.begin(), segs.end());
+  EXPECT_EQ(segs, (std::vector<uint64_t>{0, 4}));
+}
+
+TEST(KeyLockTest, BasicLockUnlock) {
+  KeyLockManager locks;
+  ASSERT_TRUE(locks.LockAll(1, {"a", "b"}).ok());
+  EXPECT_EQ(locks.num_locked(), 2u);
+  // Re-entrant for the same txn.
+  ASSERT_TRUE(locks.LockAll(1, {"b", "c"}).ok());
+  // Conflicting txn times out.
+  EXPECT_TRUE(locks.LockAll(2, {"b"}, /*timeout_ms=*/20).IsAborted());
+  locks.UnlockAll(1);
+  EXPECT_EQ(locks.num_locked(), 0u);
+  ASSERT_TRUE(locks.LockAll(2, {"b"}).ok());
+  locks.UnlockAll(2);
+}
+
+TEST(KeyLockTest, TimeoutRollsBackPartialAcquisition) {
+  KeyLockManager locks;
+  ASSERT_TRUE(locks.LockAll(1, {"m"}).ok());
+  // Txn 2 grabs "a" then blocks on "m" and times out: "a" must be freed.
+  EXPECT_TRUE(locks.LockAll(2, {"a", "m"}, /*timeout_ms=*/20).IsAborted());
+  ASSERT_TRUE(locks.LockAll(3, {"a"}, /*timeout_ms=*/20).ok());
+  locks.UnlockAll(1);
+  locks.UnlockAll(3);
+}
+
+TEST(KeyLockTest, ContendedHandoff) {
+  KeyLockManager locks;
+  ASSERT_TRUE(locks.LockAll(1, {"k"}).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(locks.LockAll(2, {"k"}, /*timeout_ms=*/2000).ok());
+    acquired = true;
+    locks.UnlockAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  locks.UnlockAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(KeyLockTest, SortedAcquisitionAvoidsDeadlock) {
+  // Two txns lock overlapping key sets in opposite order; sorted
+  // acquisition means one waits for the other rather than deadlocking.
+  KeyLockManager locks;
+  std::atomic<int> successes{0};
+  std::thread t1([&] {
+    if (locks.LockAll(1, {"x", "y"}, 2000).ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      locks.UnlockAll(1);
+      successes.fetch_add(1);
+    }
+  });
+  std::thread t2([&] {
+    if (locks.LockAll(2, {"y", "x"}, 2000).ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      locks.UnlockAll(2);
+      successes.fetch_add(1);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(successes.load(), 2);
+}
+
+}  // namespace
+}  // namespace s2

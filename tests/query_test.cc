@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include "blob/blob_store.h"
+#include "common/env.h"
+#include "query/expr.h"
+#include "query/plan.h"
+#include "storage/partition.h"
+
+namespace s2 {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("s2-query");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    PartitionOptions opts;
+    opts.dir = dir_;
+    opts.background_uploads = false;
+    opts.auto_maintain = false;
+    partition_ = std::make_unique<Partition>(opts);
+    ASSERT_TRUE(partition_->Init().ok());
+
+    // orders(order_id, customer_id, status, amount)
+    TableOptions orders;
+    orders.schema = Schema({{"order_id", DataType::kInt64},
+                            {"customer_id", DataType::kInt64},
+                            {"status", DataType::kString},
+                            {"amount", DataType::kDouble}});
+    orders.sort_key = {0};
+    orders.indexes = {{0}, {1}};
+    orders.unique_key = {0};
+    orders.segment_rows = 64;
+    ASSERT_TRUE(partition_->CreateTable("orders", orders).ok());
+
+    // customers(customer_id, name, region)
+    TableOptions customers;
+    customers.schema = Schema({{"customer_id", DataType::kInt64},
+                               {"name", DataType::kString},
+                               {"region", DataType::kString}});
+    customers.indexes = {{0}};
+    customers.unique_key = {0};
+    ASSERT_TRUE(partition_->CreateTable("customers", customers).ok());
+
+    UnifiedTable* orders_table = *partition_->GetTable("orders");
+    UnifiedTable* customers_table = *partition_->GetTable("customers");
+    // 10 customers; 200 orders round-robin over customers 0..9.
+    for (int64_t c = 0; c < 10; ++c) {
+      auto h = partition_->Begin();
+      ASSERT_TRUE(customers_table
+                      ->InsertRows(h.id, h.read_ts,
+                                   {{Value(c), Value("name" + std::to_string(c)),
+                                     Value(c < 5 ? "EU" : "US")}})
+                      .ok());
+      ASSERT_TRUE(partition_->Commit(h.id).ok());
+    }
+    for (int64_t o = 0; o < 200; ++o) {
+      auto h = partition_->Begin();
+      ASSERT_TRUE(orders_table
+                      ->InsertRows(h.id, h.read_ts,
+                                   {{Value(o), Value(o % 10),
+                                     Value(o % 3 == 0 ? "OPEN" : "DONE"),
+                                     Value((o % 50) * 1.0)}})
+                      .ok());
+      ASSERT_TRUE(partition_->Commit(h.id).ok());
+      if ((o + 1) % 64 == 0) {
+        ASSERT_TRUE(orders_table->FlushRowstore().ok());
+      }
+    }
+  }
+
+  void TearDown() override {
+    partition_.reset();
+    (void)RemoveDirRecursive(dir_);
+  }
+
+  QueryContext Ctx() {
+    auto h = partition_->Begin();
+    QueryContext ctx;
+    ctx.partition = partition_.get();
+    ctx.txn = h.id;
+    ctx.read_ts = h.read_ts;
+    return ctx;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Partition> partition_;
+};
+
+TEST_F(QueryTest, ExprEval) {
+  Row row = {Value(int64_t{10}), Value("hello"), Value(2.5)};
+  EXPECT_EQ(Add(Col(0), Lit(Value(int64_t{5})))->Eval(row),
+            Value(int64_t{15}));
+  EXPECT_EQ(Mul(Col(2), Lit(Value(2.0)))->Eval(row), Value(5.0));
+  EXPECT_EQ(Eq(Col(1), Lit(Value("hello")))->Eval(row), Value(int64_t{1}));
+  EXPECT_EQ(Like(Col(1), "he%o")->Eval(row), Value(int64_t{1}));
+  EXPECT_EQ(Like(Col(1), "he_o")->Eval(row), Value(int64_t{0}));
+  EXPECT_EQ(Substr(Col(1), 2, 3)->Eval(row), Value("ell"));
+  EXPECT_EQ(CaseWhen({Gt(Col(0), Lit(Value(int64_t{5}))), Lit(Value("big")),
+                      Lit(Value("small"))})
+                ->Eval(row),
+            Value("big"));
+  EXPECT_EQ(IsNull(Col(0))->Eval(row), Value(int64_t{0}));
+  // NULL propagation.
+  Row with_null = {Value::Null()};
+  EXPECT_TRUE(Add(Col(0), Lit(Value(int64_t{1})))->Eval(with_null).is_null());
+  EXPECT_EQ(IsNull(Col(0))->Eval(with_null), Value(int64_t{1}));
+}
+
+TEST_F(QueryTest, LikeMatch) {
+  EXPECT_TRUE(LikeMatch("PROMO BRUSHED", "PROMO%"));
+  EXPECT_FALSE(LikeMatch("STANDARD", "PROMO%"));
+  EXPECT_TRUE(LikeMatch("forest green metal", "%green%"));
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("xyz", "_y_"));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));
+}
+
+TEST_F(QueryTest, ScanWithFilterAndLimit) {
+  auto ctx = Ctx();
+  auto scan = std::make_unique<ScanOp>(
+      "orders", std::vector<int>{0, 3},
+      FilterCmp(0, CmpOp::kLt, Value(int64_t{20})));
+  auto limit = std::make_unique<LimitOp>(std::move(scan), 5);
+  auto rows = RunPlan(limit.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, AggregateSumAvgCount) {
+  auto ctx = Ctx();
+  // SELECT status, count(*), sum(amount), avg(amount) FROM orders GROUP BY status
+  auto scan = std::make_unique<ScanOp>("orders", std::vector<int>{2, 3});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  aggs.push_back({AggKind::kSum, Col(1)});
+  aggs.push_back({AggKind::kAvg, Col(1)});
+  auto agg = std::make_unique<AggregateOp>(
+      std::move(scan), std::vector<ExprPtr>{Col(0)}, std::move(aggs));
+  auto sort = std::make_unique<SortOp>(
+      std::move(agg), std::vector<SortKey>{{Col(0), false}});
+  auto rows = RunPlan(sort.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  // DONE: orders where o%3 != 0 -> 133 rows; OPEN: 67 rows.
+  EXPECT_EQ((*rows)[0][0], Value("DONE"));
+  EXPECT_EQ((*rows)[0][1], Value(int64_t{133}));
+  EXPECT_EQ((*rows)[1][0], Value("OPEN"));
+  EXPECT_EQ((*rows)[1][1], Value(int64_t{67}));
+  double total = (*rows)[0][2].as_double() + (*rows)[1][2].as_double();
+  double expected = 0;
+  for (int o = 0; o < 200; ++o) expected += (o % 50) * 1.0;
+  EXPECT_DOUBLE_EQ(total, expected);
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, HashJoinInner) {
+  auto ctx = Ctx();
+  // SELECT o.order_id, c.region FROM orders o JOIN customers c USING (customer_id)
+  // WHERE c.region = 'EU'
+  auto orders = std::make_unique<ScanOp>("orders", std::vector<int>{0, 1});
+  auto customers = std::make_unique<ScanOp>(
+      "customers", std::vector<int>{0, 2}, FilterEq(1, Value("EU")));
+  // Wait: customers projection {0,2} = (customer_id, region); filter col 1
+  // refers to the table schema (name), so filter on region is col 2.
+  customers = std::make_unique<ScanOp>("customers", std::vector<int>{0, 2},
+                                       FilterEq(2, Value("EU")));
+  auto join = std::make_unique<HashJoinOp>(
+      std::move(orders), std::move(customers), std::vector<ExprPtr>{Col(1)},
+      std::vector<ExprPtr>{Col(0)}, JoinType::kInner, 2);
+  auto rows = RunPlan(join.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  // Customers 0..4 are EU; orders to them: o%10 in 0..4 -> 100 orders.
+  EXPECT_EQ(rows->size(), 100u);
+  for (const Row& row : *rows) {
+    EXPECT_LT(row[1].as_int(), 5);
+    EXPECT_EQ(row[3], Value("EU"));
+  }
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, LeftJoinPadsNulls) {
+  auto ctx = Ctx();
+  // customers LEFT JOIN orders with amount > 48 (only some customers have
+  // such orders).
+  auto customers =
+      std::make_unique<ScanOp>("customers", std::vector<int>{0, 1});
+  auto orders = std::make_unique<ScanOp>(
+      "orders", std::vector<int>{1, 3},
+      FilterCmp(3, CmpOp::kGt, Value(48.0)));
+  auto join = std::make_unique<HashJoinOp>(
+      std::move(customers), std::move(orders), std::vector<ExprPtr>{Col(0)},
+      std::vector<ExprPtr>{Col(0)}, JoinType::kLeft, 2);
+  auto rows = RunPlan(join.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  // Orders with amount 49: o%50==49 -> o in {49,99,149,199}, customers 9.
+  size_t null_rows = 0;
+  for (const Row& row : *rows) {
+    if (row[2].is_null()) ++null_rows;
+  }
+  EXPECT_EQ(null_rows, 9u) << "9 customers with no matching order";
+  EXPECT_EQ(rows->size(), 9u + 4u);
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, SemiAndAntiJoin) {
+  auto ctx = Ctx();
+  // Customers with at least one OPEN order (semi) / none (anti).
+  auto open_orders = [&] {
+    return std::make_unique<ScanOp>("orders", std::vector<int>{1},
+                                    FilterEq(2, Value("OPEN")));
+  };
+  auto semi = std::make_unique<HashJoinOp>(
+      std::make_unique<ScanOp>("customers", std::vector<int>{0}),
+      open_orders(), std::vector<ExprPtr>{Col(0)},
+      std::vector<ExprPtr>{Col(0)}, JoinType::kSemi, 1);
+  auto semi_rows = RunPlan(semi.get(), &ctx);
+  ASSERT_TRUE(semi_rows.ok());
+
+  auto anti = std::make_unique<HashJoinOp>(
+      std::make_unique<ScanOp>("customers", std::vector<int>{0}),
+      open_orders(), std::vector<ExprPtr>{Col(0)},
+      std::vector<ExprPtr>{Col(0)}, JoinType::kAnti, 1);
+  auto anti_rows = RunPlan(anti.get(), &ctx);
+  ASSERT_TRUE(anti_rows.ok());
+  EXPECT_EQ(semi_rows->size() + anti_rows->size(), 10u);
+  EXPECT_EQ(semi_rows->size(), 10u);  // every customer has an OPEN order
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, IndexJoinUsesIndexForSmallBuildSide) {
+  auto ctx = Ctx();
+  // Join orders against a tiny in-memory build side via the join index
+  // filter (Section 5.1).
+  std::vector<Row> build = {{Value(int64_t{5}), Value("x")},
+                            {Value(int64_t{7}), Value("y")}};
+  auto join = std::make_unique<IndexJoinOp>(
+      "orders", std::vector<int>{0, 1}, /*probe_col=*/0,
+      std::make_unique<ValuesOp>(build), Col(0));
+  auto rows = RunPlan(join.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_TRUE(join->stats().used_index);
+  EXPECT_EQ(join->stats().index_probes, 2u);
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, IndexJoinFallsBackForLargeBuildSide) {
+  auto ctx = Ctx();
+  std::vector<Row> build;
+  for (int64_t i = 0; i < 150; ++i) build.push_back({Value(i)});
+  auto join = std::make_unique<IndexJoinOp>(
+      "orders", std::vector<int>{0}, /*probe_col=*/0,
+      std::make_unique<ValuesOp>(build), Col(0), nullptr,
+      /*max_key_fraction=*/0.05);
+  auto rows = RunPlan(join.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 150u);
+  EXPECT_FALSE(join->stats().used_index)
+      << "too many keys: must fall back to hash join over a scan";
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, SortOrderAndProject) {
+  auto ctx = Ctx();
+  auto scan = std::make_unique<ScanOp>(
+      "orders", std::vector<int>{0, 3},
+      FilterCmp(0, CmpOp::kLt, Value(int64_t{10})));
+  auto project = std::make_unique<ProjectOp>(
+      std::move(scan),
+      std::vector<ExprPtr>{Col(0), Mul(Col(1), Lit(Value(2.0)))});
+  auto sort = std::make_unique<SortOp>(
+      std::move(project), std::vector<SortKey>{{Col(1), true}, {Col(0), false}});
+  auto rows = RunPlan(sort.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  EXPECT_EQ((*rows)[0][1], Value(18.0));  // amount 9 * 2
+  EXPECT_EQ((*rows)[9][1], Value(0.0));
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, EmptyAggregateProducesOneRow) {
+  auto ctx = Ctx();
+  auto scan = std::make_unique<ScanOp>(
+      "orders", std::vector<int>{0},
+      FilterEq(0, Value(int64_t{99999})));  // matches nothing
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  aggs.push_back({AggKind::kSum, Col(0)});
+  auto agg = std::make_unique<AggregateOp>(std::move(scan),
+                                           std::vector<ExprPtr>{}, std::move(aggs));
+  auto rows = RunPlan(agg.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value(int64_t{0}));
+  EXPECT_TRUE((*rows)[0][1].is_null());
+  partition_->EndRead(ctx.txn);
+}
+
+TEST_F(QueryTest, CountDistinct) {
+  auto ctx = Ctx();
+  auto scan = std::make_unique<ScanOp>("orders", std::vector<int>{1});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCountDistinct, Col(0)});
+  auto agg = std::make_unique<AggregateOp>(std::move(scan),
+                                           std::vector<ExprPtr>{}, std::move(aggs));
+  auto rows = RunPlan(agg.get(), &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], Value(int64_t{10}));
+  partition_->EndRead(ctx.txn);
+}
+
+}  // namespace
+}  // namespace s2

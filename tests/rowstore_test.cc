@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "rowstore/rowstore_table.h"
+#include "rowstore/skiplist.h"
+
+namespace s2 {
+namespace {
+
+// --- SkipList ---
+
+TEST(SkipListTest, InsertFindOrder) {
+  SkipList list;
+  bool created;
+  list.GetOrInsert("banana", &created);
+  EXPECT_TRUE(created);
+  list.GetOrInsert("apple", &created);
+  list.GetOrInsert("cherry", &created);
+  list.GetOrInsert("banana", &created);
+  EXPECT_FALSE(created) << "second insert of same key finds existing node";
+  EXPECT_EQ(list.num_nodes(), 3u);
+
+  std::vector<std::string> keys;
+  for (auto* node = list.First(); node != nullptr; node = SkipList::Next(node)) {
+    keys.push_back(node->key);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry"}));
+
+  EXPECT_NE(list.Find("apple"), nullptr);
+  EXPECT_EQ(list.Find("grape"), nullptr);
+  EXPECT_EQ(list.Seek("b")->key, "banana");
+  EXPECT_EQ(list.Seek("zzz"), nullptr);
+}
+
+TEST(SkipListTest, ConcurrentInsertsAllPresent) {
+  SkipList list;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&list, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Heavy key overlap across threads stresses the CAS retry path.
+        std::string key = "key" + std::to_string((i * kThreads + t) % 6000);
+        bool created;
+        list.GetOrInsert(key, &created);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(list.num_nodes(), 6000u);
+  // Order invariant holds after the storm.
+  std::string prev;
+  size_t count = 0;
+  for (auto* node = list.First(); node != nullptr; node = SkipList::Next(node)) {
+    if (count > 0) {
+      EXPECT_LT(prev, node->key);
+    }
+    prev = node->key;
+    ++count;
+  }
+  EXPECT_EQ(count, 6000u);
+}
+
+TEST(SkipListTest, ModelCheckAgainstStdMap) {
+  SkipList list;
+  std::set<std::string> model;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(800));
+    bool created;
+    list.GetOrInsert(key, &created);
+    EXPECT_EQ(created, model.insert(key).second);
+  }
+  EXPECT_EQ(list.num_nodes(), model.size());
+  for (const std::string& key : model) {
+    EXPECT_NE(list.Find(key), nullptr) << key;
+  }
+}
+
+// --- RowStoreTable ---
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}});
+}
+
+Row MakeRow(int64_t id, std::string name, double score) {
+  return Row{Value(id), Value(std::move(name)), Value(score)};
+}
+
+class RowStoreTest : public ::testing::Test {
+ protected:
+  RowStoreTest() : table_(TestSchema(), {0}) {}
+
+  // Helper: run an autocommit single-op transaction.
+  Status Commit1(TxnId txn, Timestamp ts, Status op_result) {
+    if (!op_result.ok()) {
+      table_.AbortTxn(txn);
+      return op_result;
+    }
+    table_.CommitTxn(txn, ts);
+    return Status::OK();
+  }
+
+  RowStoreTable table_;
+};
+
+TEST_F(RowStoreTest, InsertGetVisibility) {
+  ASSERT_TRUE(table_.Insert(1, 0, MakeRow(7, "alice", 1.5)).ok());
+  // Uncommitted: visible to own txn only.
+  EXPECT_TRUE(table_.Get(1, 0, {Value(int64_t{7})}).ok());
+  EXPECT_TRUE(table_.Get(2, 10, {Value(int64_t{7})}).status().IsNotFound());
+  table_.CommitTxn(1, 5);
+  // Committed at ts 5: visible at read_ts >= 5.
+  EXPECT_TRUE(table_.Get(2, 5, {Value(int64_t{7})}).ok());
+  EXPECT_TRUE(table_.Get(2, 4, {Value(int64_t{7})}).status().IsNotFound());
+  EXPECT_EQ((*table_.Get(2, 5, {Value(int64_t{7})}))[1], Value("alice"));
+}
+
+TEST_F(RowStoreTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(1, "a", 0))).ok());
+  EXPECT_TRUE(table_.Insert(2, 5, MakeRow(1, "b", 0)).IsAlreadyExists());
+  table_.AbortTxn(2);
+}
+
+TEST_F(RowStoreTest, DeleteAndReinsert) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(1, "a", 0))).ok());
+  ASSERT_TRUE(Commit1(2, 6, table_.Delete(2, 5, {Value(int64_t{1})})).ok());
+  EXPECT_TRUE(table_.Get(9, 6, {Value(int64_t{1})}).status().IsNotFound());
+  // Old snapshot still sees it (MVCC).
+  EXPECT_TRUE(table_.Get(9, 5, {Value(int64_t{1})}).ok());
+  // Key is reusable after delete.
+  ASSERT_TRUE(Commit1(3, 7, table_.Insert(3, 6, MakeRow(1, "again", 1))).ok());
+  EXPECT_EQ((*table_.Get(9, 7, {Value(int64_t{1})}))[1], Value("again"));
+}
+
+TEST_F(RowStoreTest, UpdateCreatesNewVersion) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(1, "v1", 0))).ok());
+  ASSERT_TRUE(
+      Commit1(2, 8, table_.Update(2, 5, {Value(int64_t{1})}, MakeRow(1, "v2", 1)))
+          .ok());
+  EXPECT_EQ((*table_.Get(9, 8, {Value(int64_t{1})}))[1], Value("v2"));
+  EXPECT_EQ((*table_.Get(9, 5, {Value(int64_t{1})}))[1], Value("v1"));
+}
+
+TEST_F(RowStoreTest, UpdateMissingRowFails) {
+  EXPECT_TRUE(
+      table_.Update(1, 0, {Value(int64_t{42})}, MakeRow(42, "x", 0)).IsNotFound());
+  table_.AbortTxn(1);
+}
+
+TEST_F(RowStoreTest, AbortRollsBack) {
+  ASSERT_TRUE(table_.Insert(1, 0, MakeRow(1, "doomed", 0)).ok());
+  table_.AbortTxn(1);
+  EXPECT_TRUE(table_.Get(2, 100, {Value(int64_t{1})}).status().IsNotFound());
+  // Key usable afterwards.
+  ASSERT_TRUE(Commit1(3, 5, table_.Insert(3, 0, MakeRow(1, "kept", 0))).ok());
+  EXPECT_TRUE(table_.Get(2, 5, {Value(int64_t{1})}).ok());
+}
+
+TEST_F(RowStoreTest, WriteWriteConflictAborts) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(1, "base", 0))).ok());
+  // Txn 3 commits an update after txn 2's snapshot (ts 5)...
+  ASSERT_TRUE(
+      Commit1(3, 10, table_.Update(3, 5, {Value(int64_t{1})}, MakeRow(1, "w1", 0)))
+          .ok());
+  // ...so txn 2 (snapshot 5) must abort: first-committer-wins.
+  Status s = table_.Update(2, 5, {Value(int64_t{1})}, MakeRow(1, "w2", 0));
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  table_.AbortTxn(2);
+}
+
+TEST_F(RowStoreTest, RowLockBlocksConcurrentWriter) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(1, "base", 0))).ok());
+  // Txn 2 locks the row by updating it, holds the lock (no commit yet).
+  ASSERT_TRUE(
+      table_.Update(2, 5, {Value(int64_t{1})}, MakeRow(1, "locked", 0)).ok());
+  std::atomic<bool> t3_done{false};
+  std::thread t3([&] {
+    // Blocks on the row lock until txn 2 commits, then hits the
+    // write-write conflict (snapshot 5 < txn 2's commit ts 10).
+    Status s = table_.Update(3, 5, {Value(int64_t{1})}, MakeRow(1, "late", 0));
+    EXPECT_TRUE(s.IsAborted());
+    table_.AbortTxn(3);
+    t3_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(t3_done.load()) << "writer should still be waiting on the lock";
+  table_.CommitTxn(2, 10);
+  t3.join();
+  EXPECT_EQ((*table_.Get(9, 10, {Value(int64_t{1})}))[1], Value("locked"));
+}
+
+TEST_F(RowStoreTest, ScanVisibleInOrder) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(3, "c", 0))).ok());
+  ASSERT_TRUE(Commit1(2, 6, table_.Insert(2, 5, MakeRow(1, "a", 0))).ok());
+  ASSERT_TRUE(Commit1(3, 7, table_.Insert(3, 6, MakeRow(2, "b", 0))).ok());
+  ASSERT_TRUE(Commit1(4, 8, table_.Delete(4, 7, {Value(int64_t{2})})).ok());
+
+  std::vector<int64_t> ids;
+  table_.Scan(9, 8, [&](const Row& row) {
+    ids.push_back(row[0].as_int());
+    return true;
+  });
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 3}));
+
+  // At ts 7 the deleted row is still visible.
+  EXPECT_EQ(table_.CountVisible(7), 3u);
+  EXPECT_EQ(table_.CountVisible(8), 2u);
+  EXPECT_EQ(table_.CountVisible(4), 0u);
+}
+
+TEST_F(RowStoreTest, SecondaryIndexSeek) {
+  RowStoreTable table(TestSchema(), {0});
+  table.AddSecondaryIndex({1});  // by name
+  ASSERT_TRUE(table.Insert(1, 0, MakeRow(1, "bob", 1)).ok());
+  ASSERT_TRUE(table.Insert(1, 0, MakeRow(2, "alice", 2)).ok());
+  ASSERT_TRUE(table.Insert(1, 0, MakeRow(3, "bob", 3)).ok());
+  table.CommitTxn(1, 5);
+
+  std::vector<int64_t> ids;
+  ASSERT_TRUE(table
+                  .IndexSeek(0, 9, 5, {Value("bob")},
+                             [&](const Row& row) {
+                               ids.push_back(row[0].as_int());
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 3}));
+
+  // Update moves id=1 from bob to carol: index reflects it.
+  ASSERT_TRUE(table.Update(2, 5, {Value(int64_t{1})}, MakeRow(1, "carol", 1)).ok());
+  table.CommitTxn(2, 6);
+  ids.clear();
+  ASSERT_TRUE(table
+                  .IndexSeek(0, 9, 6, {Value("bob")},
+                             [&](const Row& row) {
+                               ids.push_back(row[0].as_int());
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<int64_t>{3}));
+  ids.clear();
+  ASSERT_TRUE(table
+                  .IndexSeek(0, 9, 6, {Value("carol")},
+                             [&](const Row& row) {
+                               ids.push_back(row[0].as_int());
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<int64_t>{1}));
+}
+
+TEST_F(RowStoreTest, PurgeRemovesDeadRowsAndOldVersions) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table_.Insert(1, 0, MakeRow(i, "row", 0)).ok());
+  }
+  table_.CommitTxn(1, 5);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table_.Delete(2, 5, {Value(int64_t{i})}).ok());
+  }
+  table_.CommitTxn(2, 6);
+  EXPECT_EQ(table_.num_nodes(), 10u);
+  size_t purged = table_.Purge(/*oldest_active=*/7);
+  EXPECT_EQ(purged, 5u);
+  EXPECT_EQ(table_.num_nodes(), 5u);
+  EXPECT_EQ(table_.CountVisible(7), 5u);
+}
+
+TEST_F(RowStoreTest, PurgeKeepsRowsVisibleToActiveSnapshots) {
+  ASSERT_TRUE(Commit1(1, 5, table_.Insert(1, 0, MakeRow(1, "a", 0))).ok());
+  ASSERT_TRUE(Commit1(2, 6, table_.Delete(2, 5, {Value(int64_t{1})})).ok());
+  // A snapshot at ts 5 is still active: purge must not remove the row.
+  EXPECT_EQ(table_.Purge(/*oldest_active=*/5), 0u);
+  EXPECT_TRUE(table_.Get(9, 5, {Value(int64_t{1})}).ok());
+}
+
+TEST_F(RowStoreTest, SnapshotRoundTrip) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        table_.Insert(1, 0, MakeRow(i, "n" + std::to_string(i), i * 0.5)).ok());
+  }
+  table_.CommitTxn(1, 5);
+  ASSERT_TRUE(Commit1(2, 6, table_.Delete(2, 5, {Value(int64_t{50})})).ok());
+
+  std::string snapshot = table_.SerializeSnapshot(6);
+
+  RowStoreTable restored(TestSchema(), {0});
+  ASSERT_TRUE(restored.RestoreSnapshot(snapshot, 1).ok());
+  EXPECT_EQ(restored.CountVisible(1), 99u);
+  EXPECT_TRUE(restored.Get(9, 1, {Value(int64_t{50})}).status().IsNotFound());
+  EXPECT_EQ((*restored.Get(9, 1, {Value(int64_t{42})}))[1], Value("n42"));
+}
+
+TEST_F(RowStoreTest, ConcurrentDisjointWritersAllCommit) {
+  constexpr int kThreads = 8;
+  constexpr int kRows = 500;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> next_ts{10};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRows; ++i) {
+        TxnId txn = 1000 + t * kRows + i;
+        int64_t id = t * kRows + i;
+        ASSERT_TRUE(table_.Insert(txn, 0, MakeRow(id, "w", 0)).ok());
+        table_.CommitTxn(txn, next_ts.fetch_add(1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(table_.CountVisible(kTsMax), kThreads * kRows);
+}
+
+TEST_F(RowStoreTest, ConcurrentConflictingWritersOneKeyEachValueWins) {
+  // Many txns race on a single key with immediate commit; exactly one
+  // insert succeeds, the rest see AlreadyExists or Aborted.
+  constexpr int kThreads = 8;
+  std::atomic<int> successes{0};
+  std::atomic<uint64_t> next_ts{10};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnId txn = 77 + t;
+      Status s = table_.Insert(txn, 0, MakeRow(1, "winner", t));
+      if (s.ok()) {
+        table_.CommitTxn(txn, next_ts.fetch_add(1));
+        successes.fetch_add(1);
+      } else {
+        table_.AbortTxn(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 1);
+  EXPECT_EQ(table_.CountVisible(kTsMax), 1u);
+}
+
+}  // namespace
+}  // namespace s2

@@ -1,0 +1,656 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "blob/blob_store.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "storage/partition.h"
+#include "storage/unified_table.h"
+
+namespace s2 {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"tag", DataType::kString},
+                 {"amount", DataType::kDouble}});
+}
+
+Row MakeRow(int64_t id, std::string tag, double amount) {
+  return Row{Value(id), Value(std::move(tag)), Value(amount)};
+}
+
+TableOptions SmallTableOptions() {
+  TableOptions opts;
+  opts.schema = TestSchema();
+  opts.sort_key = {0};
+  opts.indexes = {{0}, {1}};
+  opts.unique_key = {0};
+  opts.segment_rows = 64;      // tiny segments force multi-segment LSM
+  opts.flush_threshold = 64;
+  opts.max_sorted_runs = 4;
+  return opts;
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("s2-storage");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    Open();
+  }
+
+  void TearDown() override {
+    partition_.reset();
+    (void)RemoveDirRecursive(dir_);
+  }
+
+  void Open(Lsn recover_to = 0) {
+    PartitionOptions opts;
+    opts.dir = dir_;
+    opts.blob = &blob_;
+    opts.blob_prefix = "part0/";
+    opts.background_uploads = false;
+    opts.auto_maintain = false;  // tests drive maintenance explicitly
+    opts.recover_to_lsn = recover_to;
+    partition_ = std::make_unique<Partition>(opts);
+    ASSERT_TRUE(partition_->Init().ok());
+  }
+
+  void Reopen(Lsn recover_to = 0) {
+    partition_.reset();
+    Open(recover_to);
+  }
+
+  UnifiedTable* MakeTable(const TableOptions& opts = SmallTableOptions()) {
+    auto table = partition_->CreateTable("t", opts);
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    return *table;
+  }
+
+  // Runs a writer txn to completion (commit), asserting success.
+  template <typename Fn>
+  void Txn(Fn&& fn) {
+    auto h = partition_->Begin();
+    Status s = fn(h);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    Status cs = partition_->Commit(h.id);
+    ASSERT_TRUE(cs.ok()) << cs.ToString();
+  }
+
+  // Inserts [lo, hi) as single-row committed transactions.
+  void InsertRange(UnifiedTable* table, int64_t lo, int64_t hi,
+                   const std::string& tag = "t") {
+    for (int64_t i = lo; i < hi; ++i) {
+      Txn([&](TxnManager::TxnHandle h) {
+        return table
+            ->InsertRows(h.id, h.read_ts,
+                         {MakeRow(i, tag + std::to_string(i % 7), i * 0.5)})
+            .status();
+      });
+    }
+  }
+
+  // Collects all visible rows (rowstore + segments) at a fresh snapshot.
+  std::map<int64_t, Row> AllRows(UnifiedTable* table) {
+    auto h = partition_->Begin();
+    std::map<int64_t, Row> out;
+    table->ScanRowstore(h.id, h.read_ts,
+                        [&](const Row& row, const RowLocation&) {
+                          out[row[0].as_int()] = row;
+                          return true;
+                        });
+    auto segments = table->GetSegments(h.read_ts);
+    EXPECT_TRUE(segments.ok());
+    for (const SegmentSnapshot& snap : *segments) {
+      for (uint32_t r = 0; r < snap.segment->num_rows(); ++r) {
+        if (snap.deletes != nullptr && snap.deletes->Get(r)) continue;
+        auto row = snap.segment->ReadRow(r);
+        EXPECT_TRUE(row.ok());
+        out[(*row)[0].as_int()] = *row;
+      }
+    }
+    partition_->EndRead(h.id);
+    return out;
+  }
+
+  std::string dir_;
+  MemBlobStore blob_;
+  std::unique_ptr<Partition> partition_;
+};
+
+TEST_F(StorageTest, InsertAndLookupViaIndex) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 10);
+  auto h = partition_->Begin();
+  int found = 0;
+  ASSERT_TRUE(table
+                  ->LookupByIndex(h.id, h.read_ts, {0}, {Value(int64_t{7})},
+                                  [&](const Row& row, const RowLocation&) {
+                                    EXPECT_EQ(row[0], Value(int64_t{7}));
+                                    ++found;
+                                    return true;
+                                  })
+                  .ok());
+  EXPECT_EQ(found, 1);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(StorageTest, FlushMovesRowsToSegment) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 100);
+  EXPECT_EQ(table->RowstoreRows(), 100u);
+  EXPECT_EQ(table->NumSegments(), 0u);
+
+  auto flushed = table->FlushRowstore();
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(*flushed, 64u) << "one segment worth of rows";
+  EXPECT_EQ(table->NumSegments(), 1u);
+
+  // All 100 rows still visible, split across rowstore + segment.
+  EXPECT_EQ(AllRows(table).size(), 100u);
+  // Point lookup still works through the index after flush.
+  auto h = partition_->Begin();
+  int found = 0;
+  ASSERT_TRUE(table
+                  ->LookupByIndex(h.id, h.read_ts, {0}, {Value(int64_t{3})},
+                                  [&](const Row&, const RowLocation& loc) {
+                                    EXPECT_FALSE(loc.in_rowstore);
+                                    ++found;
+                                    return true;
+                                  })
+                  .ok());
+  EXPECT_EQ(found, 1);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(StorageTest, UniqueKeyRejectsDuplicates) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 5);
+  // Duplicate in rowstore.
+  auto h = partition_->Begin();
+  auto r = table->InsertRows(h.id, h.read_ts, {MakeRow(3, "dup", 0)});
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+  partition_->Abort(h.id);
+
+  // Duplicate in a segment (after flush).
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  EXPECT_EQ(table->RowstoreRows(), 0u);
+  auto h2 = partition_->Begin();
+  auto r2 = table->InsertRows(h2.id, h2.read_ts, {MakeRow(3, "dup", 0)});
+  EXPECT_TRUE(r2.status().IsAlreadyExists())
+      << "uniqueness must be enforced through the columnstore index";
+  partition_->Abort(h2.id);
+}
+
+TEST_F(StorageTest, DupPolicies) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 3);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+
+  // kSkip: duplicate silently dropped.
+  Txn([&](TxnManager::TxnHandle h) {
+    auto r = table->InsertRows(h.id, h.read_ts,
+                               {MakeRow(1, "skipped", 9), MakeRow(10, "new", 1)},
+                               DupPolicy::kSkip);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(*r, 1u);
+    return Status::OK();
+  });
+  auto rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_NE(rows[1][1], Value("skipped"));
+
+  // kUpdate: duplicate overwritten in place.
+  Txn([&](TxnManager::TxnHandle h) {
+    return table
+        ->InsertRows(h.id, h.read_ts, {MakeRow(1, "updated", 5)},
+                     DupPolicy::kUpdate)
+        .status();
+  });
+  rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1][1], Value("updated"));
+
+  // kReplace: delete + insert.
+  Txn([&](TxnManager::TxnHandle h) {
+    return table
+        ->InsertRows(h.id, h.read_ts, {MakeRow(2, "replaced", 7)},
+                     DupPolicy::kReplace)
+        .status();
+  });
+  rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[2][1], Value("replaced"));
+}
+
+TEST_F(StorageTest, DeleteFromSegmentViaMoveTransaction) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 64);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  ASSERT_EQ(table->NumSegments(), 1u);
+  uint64_t moves_before = table->stats().rows_moved.load();
+
+  Txn([&](TxnManager::TxnHandle h) {
+    return table->DeleteByKey(h.id, h.read_ts, {Value(int64_t{10})});
+  });
+  EXPECT_EQ(table->stats().rows_moved.load(), moves_before + 1)
+      << "segment delete goes through a move transaction";
+  auto rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 63u);
+  EXPECT_EQ(rows.count(10), 0u);
+  // The data file itself is immutable: only metadata changed.
+  EXPECT_EQ(table->NumSegments(), 1u);
+}
+
+TEST_F(StorageTest, UpdateSegmentRowPreservesSnapshot) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 64);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+
+  // Take a snapshot before the update.
+  auto old_snap = partition_->Begin();
+
+  Txn([&](TxnManager::TxnHandle h) {
+    return table->UpdateByKey(h.id, h.read_ts, {Value(int64_t{5})},
+                              MakeRow(5, "updated", 99));
+  });
+
+  // New snapshot sees the update; old snapshot still sees the original.
+  auto rows = AllRows(table);
+  EXPECT_EQ(rows[5][1], Value("updated"));
+
+  std::map<int64_t, Row> old_rows;
+  table->ScanRowstore(old_snap.id, old_snap.read_ts,
+                      [&](const Row& row, const RowLocation&) {
+                        old_rows[row[0].as_int()] = row;
+                        return true;
+                      });
+  auto segments = table->GetSegments(old_snap.read_ts);
+  ASSERT_TRUE(segments.ok());
+  for (const SegmentSnapshot& snap : *segments) {
+    for (uint32_t r = 0; r < snap.segment->num_rows(); ++r) {
+      if (snap.deletes != nullptr && snap.deletes->Get(r)) continue;
+      old_rows[(*snap.segment->ReadRow(r))[0].as_int()] =
+          *snap.segment->ReadRow(r);
+    }
+  }
+  EXPECT_EQ(old_rows[5][1], Value("t5")) << "old snapshot must not see the "
+                                            "update (delete-vector MVCC)";
+  EXPECT_EQ(old_rows.size(), 64u);
+  partition_->EndRead(old_snap.id);
+}
+
+TEST_F(StorageTest, MergeCompactsRunsAndDropsDeletes) {
+  UnifiedTable* table = MakeTable();
+  // Build several runs via repeated flushes.
+  for (int batch = 0; batch < 6; ++batch) {
+    InsertRange(table, batch * 64, (batch + 1) * 64);
+    ASSERT_TRUE(table->FlushRowstore().ok());
+  }
+  EXPECT_EQ(table->NumSegments(), 6u);
+  // Delete some rows (they live in segments).
+  for (int64_t id : {1, 65, 130, 200}) {
+    Txn([&](TxnManager::TxnHandle h) {
+      return table->DeleteByKey(h.id, h.read_ts, {Value(id)});
+    });
+  }
+  auto merged = table->MaybeMergeRuns();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(*merged);
+
+  auto rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 6 * 64 - 4u);
+  for (int64_t id : {1, 65, 130, 200}) EXPECT_EQ(rows.count(id), 0u);
+  // Index lookups still resolve to the new segments.
+  auto h = partition_->Begin();
+  int found = 0;
+  ASSERT_TRUE(table
+                  ->LookupByIndex(h.id, h.read_ts, {0}, {Value(int64_t{100})},
+                                  [&](const Row&, const RowLocation&) {
+                                    ++found;
+                                    return true;
+                                  })
+                  .ok());
+  EXPECT_EQ(found, 1);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(StorageTest, DeleteDuringMergeIsRemapped) {
+  // Deletes committed between the merge's scan and its install must land
+  // in the new segments (Section 4.2 reconciliation). We simulate by
+  // deleting from another thread while the merge runs; since the merge is
+  // fast we also re-check correctness when the delete happens right
+  // before/after. The invariant: no deleted row ever resurfaces.
+  UnifiedTable* table = MakeTable();
+  for (int batch = 0; batch < 6; ++batch) {
+    InsertRange(table, batch * 64, (batch + 1) * 64);
+    ASSERT_TRUE(table->FlushRowstore().ok());
+  }
+  std::thread deleter([&] {
+    for (int64_t id = 0; id < 40; ++id) {
+      auto h = partition_->Begin();
+      Status s = table->DeleteByKey(h.id, h.read_ts, {Value(id)});
+      if (s.ok()) {
+        (void)partition_->Commit(h.id);
+      } else {
+        partition_->Abort(h.id);
+      }
+    }
+  });
+  (void)*table->MaybeMergeRuns();
+  deleter.join();
+  // Retry any deletes that aborted due to the merge race.
+  for (int64_t id = 0; id < 40; ++id) {
+    auto h = partition_->Begin();
+    Status s = table->DeleteByKey(h.id, h.read_ts, {Value(id)});
+    if (s.ok()) {
+      ASSERT_TRUE(partition_->Commit(h.id).ok());
+    } else {
+      partition_->Abort(h.id);
+      EXPECT_TRUE(s.IsNotFound() || s.IsAborted()) << s.ToString();
+    }
+  }
+  auto rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 6 * 64 - 40u);
+  for (int64_t id = 0; id < 40; ++id) {
+    EXPECT_EQ(rows.count(id), 0u) << "deleted row " << id << " resurfaced";
+  }
+}
+
+TEST_F(StorageTest, AbortRollsBackAcrossStores) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 64);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+
+  auto h = partition_->Begin();
+  ASSERT_TRUE(table->DeleteByKey(h.id, h.read_ts, {Value(int64_t{5})}).ok());
+  ASSERT_TRUE(
+      table->InsertRows(h.id, h.read_ts, {MakeRow(100, "x", 1)}).ok());
+  partition_->Abort(h.id);
+
+  auto rows = AllRows(table);
+  EXPECT_EQ(rows.size(), 64u);
+  EXPECT_EQ(rows.count(5), 1u) << "aborted delete must not stick";
+  EXPECT_EQ(rows.count(100), 0u) << "aborted insert must not stick";
+}
+
+TEST_F(StorageTest, CommitNeverWritesToBlob) {
+  UnifiedTable* table = MakeTable();
+  uint64_t puts_before = blob_.stats().puts.load();
+  InsertRange(table, 0, 50);
+  EXPECT_EQ(blob_.stats().puts.load(), puts_before)
+      << "commit path must not touch the blob store (Section 3.1)";
+  // Uploads happen asynchronously/explicitly.
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  ASSERT_TRUE(partition_->UploadToBlob().ok());
+  EXPECT_GT(blob_.stats().puts.load(), puts_before);
+}
+
+TEST_F(StorageTest, RecoveryReplaysLog) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 100);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  Txn([&](TxnManager::TxnHandle h) {
+    return table->DeleteByKey(h.id, h.read_ts, {Value(int64_t{7})});
+  });
+  Txn([&](TxnManager::TxnHandle h) {
+    return table->UpdateByKey(h.id, h.read_ts, {Value(int64_t{8})},
+                              MakeRow(8, "updated", 1));
+  });
+  auto before = AllRows(table);
+
+  Reopen();
+  auto recovered = partition_->GetTable("t");
+  ASSERT_TRUE(recovered.ok());
+  auto after = AllRows(*recovered);
+  ASSERT_EQ(after.size(), before.size());
+  for (const auto& [id, row] : before) {
+    ASSERT_EQ(after.count(id), 1u) << id;
+    EXPECT_EQ(after[id], row) << id;
+  }
+  EXPECT_EQ(after[8][1], Value("updated"));
+  EXPECT_EQ(after.count(7), 0u);
+  // Indexes were rebuilt: point lookup works.
+  auto h = partition_->Begin();
+  int found = 0;
+  ASSERT_TRUE((*recovered)
+                  ->LookupByIndex(h.id, h.read_ts, {0}, {Value(int64_t{42})},
+                                  [&](const Row&, const RowLocation&) {
+                                    ++found;
+                                    return true;
+                                  })
+                  .ok());
+  EXPECT_EQ(found, 1);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(StorageTest, UncommittedTxnNotRecovered) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 10);
+  // Leave a transaction uncommitted at "crash" time.
+  auto h = partition_->Begin();
+  ASSERT_TRUE(table->InsertRows(h.id, h.read_ts, {MakeRow(99, "x", 0)}).ok());
+  // Note: its records may sit in the unsealed log page or be sealed by
+  // later commits; either way replay must not apply them without a commit
+  // marker.
+  Reopen();
+  auto recovered = partition_->GetTable("t");
+  auto rows = AllRows(*recovered);
+  EXPECT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.count(99), 0u);
+}
+
+TEST_F(StorageTest, SnapshotShortensRecovery) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 100);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  ASSERT_TRUE(partition_->WriteSnapshot().ok());
+  InsertRange(table, 100, 120);
+
+  Reopen();
+  auto recovered = partition_->GetTable("t");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(AllRows(*recovered).size(), 120u)
+      << "snapshot + tail replay must equal full state";
+}
+
+TEST_F(StorageTest, PointInTimeRestore) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 50);
+  Lsn checkpoint = partition_->log()->durable_lsn();
+  InsertRange(table, 50, 80);
+  Txn([&](TxnManager::TxnHandle h) {
+    return table->DeleteByKey(h.id, h.read_ts, {Value(int64_t{3})});
+  });
+
+  // Restore to the LSN captured mid-history.
+  Reopen(checkpoint);
+  auto restored = partition_->GetTable("t");
+  ASSERT_TRUE(restored.ok());
+  auto rows = AllRows(*restored);
+  EXPECT_EQ(rows.size(), 50u) << "PITR returns the state as of the target";
+  EXPECT_EQ(rows.count(3), 1u) << "later delete undone by PITR";
+  EXPECT_EQ(rows.count(60), 0u);
+}
+
+TEST_F(StorageTest, ColdReadThroughBlobAfterEviction) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 64);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  ASSERT_TRUE(partition_->UploadToBlob().ok());
+
+  // Drop every local copy; reads must fall through to blob.
+  Reopen();
+  auto recovered = partition_->GetTable("t");
+  // Remove local files dir to simulate full local cache loss.
+  // (Reopen already reloaded from local; force the blob path instead by
+  // evicting.)
+  partition_->files()->EvictCold();
+  auto rows = AllRows(*recovered);
+  EXPECT_EQ(rows.size(), 64u);
+}
+
+TEST_F(StorageTest, WriteWriteConflictOnSameKeyAborts) {
+  UnifiedTable* table = MakeTable();
+  InsertRange(table, 0, 64);
+  ASSERT_TRUE(table->FlushRowstore().ok());
+
+  auto h1 = partition_->Begin();
+  auto h2 = partition_->Begin();
+  ASSERT_TRUE(table->UpdateByKey(h1.id, h1.read_ts, {Value(int64_t{5})},
+                                 MakeRow(5, "w1", 0))
+                  .ok());
+  ASSERT_TRUE(partition_->Commit(h1.id).ok());
+  // h2's snapshot predates h1's commit: must abort.
+  Status s = table->UpdateByKey(h2.id, h2.read_ts, {Value(int64_t{5})},
+                                MakeRow(5, "w2", 0));
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  partition_->Abort(h2.id);
+  EXPECT_EQ(AllRows(table)[5][1], Value("w1"));
+}
+
+TEST_F(StorageTest, ConcurrentWorkloadModelCheck) {
+  // Random inserts/deletes/updates from several threads with retries,
+  // model-checked against a mutex-protected std::map at the end.
+  TableOptions opts = SmallTableOptions();
+  opts.segment_rows = 32;
+  opts.flush_threshold = 32;
+  UnifiedTable* table = MakeTable(opts);
+
+  std::mutex model_mu;
+  std::map<int64_t, std::string> model;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 150;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int64_t id = static_cast<int64_t>(rng.Uniform(50));
+        std::string tag = "v" + std::to_string(rng.Uniform(1000));
+        int op = static_cast<int>(rng.Uniform(3));
+        auto h = partition_->Begin();
+        // Hold the model lock through commit so model order matches commit
+        // order.
+        std::unique_lock<std::mutex> model_lock(model_mu);
+        Status s;
+        if (op == 0) {
+          s = table->InsertRows(h.id, h.read_ts, {MakeRow(id, tag, 1.0)})
+                  .status();
+          if (s.ok()) s = partition_->Commit(h.id);
+          if (s.ok()) model[id] = tag;
+        } else if (op == 1) {
+          s = table->DeleteByKey(h.id, h.read_ts, {Value(id)});
+          if (s.ok()) s = partition_->Commit(h.id);
+          if (s.ok()) model.erase(id);
+        } else {
+          s = table->UpdateByKey(h.id, h.read_ts, {Value(id)},
+                                 MakeRow(id, tag, 2.0));
+          if (s.ok()) s = partition_->Commit(h.id);
+          if (s.ok()) model[id] = tag;
+        }
+        if (!s.ok()) {
+          model_lock.unlock();
+          partition_->Abort(h.id);
+        }
+        // Occasional maintenance from a worker thread.
+        if (i % 40 == 39 && t == 0) {
+          (void)table->FlushRowstore();
+          (void)table->MaybeMergeRuns();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  (void)*table->FlushRowstore();
+  (void)*table->MaybeMergeRuns();
+
+  auto rows = AllRows(table);
+  ASSERT_EQ(rows.size(), model.size());
+  for (const auto& [id, tag] : model) {
+    ASSERT_EQ(rows.count(id), 1u) << id;
+    EXPECT_EQ(rows[id][1], Value(tag)) << id;
+  }
+}
+
+TEST_F(StorageTest, RecoveryAfterMergePreservesData) {
+  UnifiedTable* table = MakeTable();
+  for (int batch = 0; batch < 6; ++batch) {
+    InsertRange(table, batch * 64, (batch + 1) * 64);
+    ASSERT_TRUE(table->FlushRowstore().ok());
+  }
+  ASSERT_TRUE(*table->MaybeMergeRuns());
+  auto before = AllRows(table);
+
+  Reopen();
+  auto recovered = partition_->GetTable("t");
+  auto after = AllRows(*recovered);
+  EXPECT_EQ(after.size(), before.size());
+}
+
+TEST_F(StorageTest, MultiColumnIndexLookup) {
+  TableOptions opts;
+  opts.schema = TestSchema();
+  opts.indexes = {{0, 1}};  // multi-column index on (id, tag)
+  opts.segment_rows = 32;
+  opts.flush_threshold = 32;
+  UnifiedTable* table = MakeTable(opts);
+  for (int64_t i = 0; i < 64; ++i) {
+    Txn([&](TxnManager::TxnHandle h) {
+      return table
+          ->InsertRows(h.id, h.read_ts,
+                       {MakeRow(i % 8, "tag" + std::to_string(i % 4), i)})
+          .status();
+    });
+  }
+  ASSERT_TRUE(table->FlushRowstore().ok());
+  ASSERT_TRUE(table->FlushRowstore().ok());
+
+  auto h = partition_->Begin();
+  // Full composite lookup.
+  int full = 0;
+  ASSERT_TRUE(table
+                  ->LookupByIndex(h.id, h.read_ts, {0, 1},
+                                  {Value(int64_t{1}), Value("tag1")},
+                                  [&](const Row& row, const RowLocation&) {
+                                    EXPECT_EQ(row[0], Value(int64_t{1}));
+                                    EXPECT_EQ(row[1], Value("tag1"));
+                                    ++full;
+                                    return true;
+                                  })
+                  .ok());
+  EXPECT_EQ(full, 8);
+  // Partial match on a single indexed column also works (per-column
+  // indexes are shared, Section 4.1.1).
+  int partial = 0;
+  ASSERT_TRUE(table
+                  ->LookupByIndex(h.id, h.read_ts, {1}, {Value("tag2")},
+                                  [&](const Row& row, const RowLocation&) {
+                                    EXPECT_EQ(row[1], Value("tag2"));
+                                    ++partial;
+                                    return true;
+                                  })
+                  .ok());
+  EXPECT_EQ(partial, 16);
+  partition_->EndRead(h.id);
+}
+
+TEST_F(StorageTest, IndexProbeCountStaysLogarithmic) {
+  UnifiedTable* table = MakeTable();
+  for (int batch = 0; batch < 20; ++batch) {
+    InsertRange(table, batch * 64, (batch + 1) * 64);
+    ASSERT_TRUE(table->FlushRowstore().ok());
+    ASSERT_TRUE(table->MaybeMergeRuns().ok());
+  }
+  EXPECT_GE(table->NumSegments(), 3u);
+  EXPECT_LE(table->IndexProbeTables(0), 9u)
+      << "global index LSM keeps probe count O(log N), not O(#segments)";
+}
+
+}  // namespace
+}  // namespace s2

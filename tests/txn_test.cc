@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "txn/txn_manager.h"
+
+namespace s2 {
+namespace {
+
+TEST(TxnManagerTest, BeginAssignsFreshIdsAndSnapshot) {
+  TxnManager txns;
+  auto a = txns.Begin();
+  auto b = txns.Begin();
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(a.read_ts, 0u) << "no commits yet";
+  txns.EndRead(a.id);
+  txns.EndRead(b.id);
+}
+
+TEST(TxnManagerTest, WatermarkAdvancesOnlyAfterFinish) {
+  TxnManager txns;
+  auto writer = txns.Begin();
+  Timestamp cts = txns.PrepareCommit(writer.id);
+  EXPECT_EQ(txns.watermark(), 0u)
+      << "commit in progress: new readers must not see it yet";
+  auto reader = txns.Begin();
+  EXPECT_LT(reader.read_ts, cts);
+  txns.FinishCommit(writer.id, cts);
+  EXPECT_EQ(txns.watermark(), cts);
+  auto reader2 = txns.Begin();
+  EXPECT_EQ(reader2.read_ts, cts);
+  txns.EndRead(reader.id);
+  txns.EndRead(reader2.id);
+}
+
+TEST(TxnManagerTest, WatermarkHeldBackByOldestInFlightCommit) {
+  TxnManager txns;
+  auto t1 = txns.Begin();
+  auto t2 = txns.Begin();
+  Timestamp c1 = txns.PrepareCommit(t1.id);
+  Timestamp c2 = txns.PrepareCommit(t2.id);
+  EXPECT_LT(c1, c2);
+  // Finish the NEWER commit first: watermark must stay below the older
+  // still-stamping commit, or readers would see half of t1.
+  txns.FinishCommit(t2.id, c2);
+  EXPECT_LT(txns.watermark(), c1);
+  txns.FinishCommit(t1.id, c1);
+  EXPECT_EQ(txns.watermark(), c2);
+}
+
+TEST(TxnManagerTest, OldestActiveTracksReaders) {
+  TxnManager txns;
+  auto w = txns.Begin();
+  txns.FinishCommit(w.id, txns.PrepareCommit(w.id));
+  Timestamp after_first = txns.watermark();
+
+  auto old_reader = txns.Begin();
+  auto w2 = txns.Begin();
+  txns.FinishCommit(w2.id, txns.PrepareCommit(w2.id));
+  // The old reader pins the GC horizon at its snapshot.
+  EXPECT_EQ(txns.oldest_active(), after_first);
+  txns.EndRead(old_reader.id);
+  EXPECT_EQ(txns.oldest_active(), txns.watermark());
+}
+
+TEST(TxnManagerTest, AbortReleasesSnapshot) {
+  TxnManager txns;
+  auto t = txns.Begin();
+  txns.Abort(t.id);
+  EXPECT_EQ(txns.oldest_active(), txns.watermark());
+}
+
+TEST(TxnManagerTest, AdvanceToBumpsClockAndWatermark) {
+  TxnManager txns;
+  txns.AdvanceTo(100);
+  EXPECT_EQ(txns.watermark(), 100u);
+  auto t = txns.Begin();
+  Timestamp c = txns.PrepareCommit(t.id);
+  EXPECT_GT(c, 100u);
+  txns.FinishCommit(t.id, c);
+}
+
+TEST(TxnManagerTest, ConcurrentCommitTimestampsAreUniqueAndMonotonic) {
+  TxnManager txns;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<Timestamp>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto h = txns.Begin();
+        Timestamp c = txns.PrepareCommit(h.id);
+        per_thread[t].push_back(c);
+        txns.FinishCommit(h.id, c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<Timestamp> all;
+  for (const auto& v : per_thread) {
+    Timestamp prev = 0;
+    for (Timestamp c : v) {
+      EXPECT_GT(c, prev) << "per-thread monotonicity";
+      prev = c;
+      EXPECT_TRUE(all.insert(c).second) << "duplicate commit ts " << c;
+    }
+  }
+  EXPECT_EQ(all.size(), size_t{kThreads} * kPerThread);
+  EXPECT_EQ(txns.watermark(), size_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace s2
