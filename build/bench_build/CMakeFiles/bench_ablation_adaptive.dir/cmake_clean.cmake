@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_adaptive"
+  "../bench/bench_ablation_adaptive.pdb"
+  "CMakeFiles/bench_ablation_adaptive.dir/bench_ablation_adaptive.cc.o"
+  "CMakeFiles/bench_ablation_adaptive.dir/bench_ablation_adaptive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_commit_path.cc" "bench_build/CMakeFiles/bench_ablation_commit_path.dir/bench_ablation_commit_path.cc.o" "gcc" "bench_build/CMakeFiles/bench_ablation_commit_path.dir/bench_ablation_commit_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/workloads/CMakeFiles/s2_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/s2_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/s2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/s2_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/s2_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/s2_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/s2_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnstore/CMakeFiles/s2_columnstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/s2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/s2_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowstore/CMakeFiles/s2_rowstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/s2_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_commit_path"
+  "../bench/bench_ablation_commit_path.pdb"
+  "CMakeFiles/bench_ablation_commit_path.dir/bench_ablation_commit_path.cc.o"
+  "CMakeFiles/bench_ablation_commit_path.dir/bench_ablation_commit_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_commit_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

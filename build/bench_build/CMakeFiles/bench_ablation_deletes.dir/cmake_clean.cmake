@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_deletes"
+  "../bench/bench_ablation_deletes.pdb"
+  "CMakeFiles/bench_ablation_deletes.dir/bench_ablation_deletes.cc.o"
+  "CMakeFiles/bench_ablation_deletes.dir/bench_ablation_deletes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deletes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

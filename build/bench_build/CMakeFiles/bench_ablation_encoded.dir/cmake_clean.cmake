@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_encoded"
+  "../bench/bench_ablation_encoded.pdb"
+  "CMakeFiles/bench_ablation_encoded.dir/bench_ablation_encoded.cc.o"
+  "CMakeFiles/bench_ablation_encoded.dir/bench_ablation_encoded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

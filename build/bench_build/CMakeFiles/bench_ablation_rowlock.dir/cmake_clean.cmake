@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rowlock"
+  "../bench/bench_ablation_rowlock.pdb"
+  "CMakeFiles/bench_ablation_rowlock.dir/bench_ablation_rowlock.cc.o"
+  "CMakeFiles/bench_ablation_rowlock.dir/bench_ablation_rowlock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rowlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_seek"
+  "../bench/bench_ablation_seek.pdb"
+  "CMakeFiles/bench_ablation_seek.dir/bench_ablation_seek.cc.o"
+  "CMakeFiles/bench_ablation_seek.dir/bench_ablation_seek.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

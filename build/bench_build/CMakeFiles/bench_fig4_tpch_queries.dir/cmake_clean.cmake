@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_tpch_queries"
+  "../bench/bench_fig4_tpch_queries.pdb"
+  "CMakeFiles/bench_fig4_tpch_queries.dir/bench_fig4_tpch_queries.cc.o"
+  "CMakeFiles/bench_fig4_tpch_queries.dir/bench_fig4_tpch_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tpch_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_summary"
+  "../bench/bench_fig5_summary.pdb"
+  "CMakeFiles/bench_fig5_summary.dir/bench_fig5_summary.cc.o"
+  "CMakeFiles/bench_fig5_summary.dir/bench_fig5_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_tpcc"
+  "../bench/bench_table1_tpcc.pdb"
+  "CMakeFiles/bench_table1_tpcc.dir/bench_table1_tpcc.cc.o"
+  "CMakeFiles/bench_table1_tpcc.dir/bench_table1_tpcc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

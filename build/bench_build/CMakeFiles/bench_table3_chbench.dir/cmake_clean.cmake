@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_chbench"
+  "../bench/bench_table3_chbench.pdb"
+  "CMakeFiles/bench_table3_chbench.dir/bench_table3_chbench.cc.o"
+  "CMakeFiles/bench_table3_chbench.dir/bench_table3_chbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_chbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_workloads.dir/chbench.cc.o"
+  "CMakeFiles/s2_workloads.dir/chbench.cc.o.d"
+  "CMakeFiles/s2_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/s2_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/s2_workloads.dir/tpch.cc.o"
+  "CMakeFiles/s2_workloads.dir/tpch.cc.o.d"
+  "CMakeFiles/s2_workloads.dir/tpch_queries.cc.o"
+  "CMakeFiles/s2_workloads.dir/tpch_queries.cc.o.d"
+  "libs2_workloads.a"
+  "libs2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

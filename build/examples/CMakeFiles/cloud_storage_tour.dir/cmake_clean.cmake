@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_storage_tour.dir/cloud_storage_tour.cpp.o"
+  "CMakeFiles/cloud_storage_tour.dir/cloud_storage_tour.cpp.o.d"
+  "cloud_storage_tour"
+  "cloud_storage_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_storage_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

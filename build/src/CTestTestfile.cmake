@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("encoding")
+subdirs("log")
+subdirs("blob")
+subdirs("rowstore")
+subdirs("columnstore")
+subdirs("index")
+subdirs("txn")
+subdirs("storage")
+subdirs("exec")
+subdirs("query")
+subdirs("cluster")
+subdirs("engine")

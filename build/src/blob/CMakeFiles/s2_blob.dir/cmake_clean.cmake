@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_blob.dir/blob_store.cc.o"
+  "CMakeFiles/s2_blob.dir/blob_store.cc.o.d"
+  "CMakeFiles/s2_blob.dir/data_file_store.cc.o"
+  "CMakeFiles/s2_blob.dir/data_file_store.cc.o.d"
+  "libs2_blob.a"
+  "libs2_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

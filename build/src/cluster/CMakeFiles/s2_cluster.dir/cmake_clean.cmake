@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_cluster.dir/cluster.cc.o"
+  "CMakeFiles/s2_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/s2_cluster.dir/replica.cc.o"
+  "CMakeFiles/s2_cluster.dir/replica.cc.o.d"
+  "libs2_cluster.a"
+  "libs2_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnstore/merger.cc" "src/columnstore/CMakeFiles/s2_columnstore.dir/merger.cc.o" "gcc" "src/columnstore/CMakeFiles/s2_columnstore.dir/merger.cc.o.d"
+  "/root/repo/src/columnstore/segment.cc" "src/columnstore/CMakeFiles/s2_columnstore.dir/segment.cc.o" "gcc" "src/columnstore/CMakeFiles/s2_columnstore.dir/segment.cc.o.d"
+  "/root/repo/src/columnstore/segment_meta.cc" "src/columnstore/CMakeFiles/s2_columnstore.dir/segment_meta.cc.o" "gcc" "src/columnstore/CMakeFiles/s2_columnstore.dir/segment_meta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/s2_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

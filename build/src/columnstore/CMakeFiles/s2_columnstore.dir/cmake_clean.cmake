@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_columnstore.dir/merger.cc.o"
+  "CMakeFiles/s2_columnstore.dir/merger.cc.o.d"
+  "CMakeFiles/s2_columnstore.dir/segment.cc.o"
+  "CMakeFiles/s2_columnstore.dir/segment.cc.o.d"
+  "CMakeFiles/s2_columnstore.dir/segment_meta.cc.o"
+  "CMakeFiles/s2_columnstore.dir/segment_meta.cc.o.d"
+  "libs2_columnstore.a"
+  "libs2_columnstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_columnstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

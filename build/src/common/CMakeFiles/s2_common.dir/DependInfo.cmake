@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitvector.cc" "src/common/CMakeFiles/s2_common.dir/bitvector.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/bitvector.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/common/CMakeFiles/s2_common.dir/coding.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/coding.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/s2_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/common/CMakeFiles/s2_common.dir/env.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/env.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/common/CMakeFiles/s2_common.dir/hash.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/hash.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/s2_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/status.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/common/CMakeFiles/s2_common.dir/threadpool.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/threadpool.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/common/CMakeFiles/s2_common.dir/types.cc.o" "gcc" "src/common/CMakeFiles/s2_common.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

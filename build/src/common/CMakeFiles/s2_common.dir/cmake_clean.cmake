@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_common.dir/bitvector.cc.o"
+  "CMakeFiles/s2_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/s2_common.dir/coding.cc.o"
+  "CMakeFiles/s2_common.dir/coding.cc.o.d"
+  "CMakeFiles/s2_common.dir/crc32.cc.o"
+  "CMakeFiles/s2_common.dir/crc32.cc.o.d"
+  "CMakeFiles/s2_common.dir/env.cc.o"
+  "CMakeFiles/s2_common.dir/env.cc.o.d"
+  "CMakeFiles/s2_common.dir/hash.cc.o"
+  "CMakeFiles/s2_common.dir/hash.cc.o.d"
+  "CMakeFiles/s2_common.dir/status.cc.o"
+  "CMakeFiles/s2_common.dir/status.cc.o.d"
+  "CMakeFiles/s2_common.dir/threadpool.cc.o"
+  "CMakeFiles/s2_common.dir/threadpool.cc.o.d"
+  "CMakeFiles/s2_common.dir/types.cc.o"
+  "CMakeFiles/s2_common.dir/types.cc.o.d"
+  "libs2_common.a"
+  "libs2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

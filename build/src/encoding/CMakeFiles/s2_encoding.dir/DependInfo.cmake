@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/bitpack.cc" "src/encoding/CMakeFiles/s2_encoding.dir/bitpack.cc.o" "gcc" "src/encoding/CMakeFiles/s2_encoding.dir/bitpack.cc.o.d"
+  "/root/repo/src/encoding/column_vector.cc" "src/encoding/CMakeFiles/s2_encoding.dir/column_vector.cc.o" "gcc" "src/encoding/CMakeFiles/s2_encoding.dir/column_vector.cc.o.d"
+  "/root/repo/src/encoding/encoding.cc" "src/encoding/CMakeFiles/s2_encoding.dir/encoding.cc.o" "gcc" "src/encoding/CMakeFiles/s2_encoding.dir/encoding.cc.o.d"
+  "/root/repo/src/encoding/lz.cc" "src/encoding/CMakeFiles/s2_encoding.dir/lz.cc.o" "gcc" "src/encoding/CMakeFiles/s2_encoding.dir/lz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

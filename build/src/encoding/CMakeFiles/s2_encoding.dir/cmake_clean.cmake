@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_encoding.dir/bitpack.cc.o"
+  "CMakeFiles/s2_encoding.dir/bitpack.cc.o.d"
+  "CMakeFiles/s2_encoding.dir/column_vector.cc.o"
+  "CMakeFiles/s2_encoding.dir/column_vector.cc.o.d"
+  "CMakeFiles/s2_encoding.dir/encoding.cc.o"
+  "CMakeFiles/s2_encoding.dir/encoding.cc.o.d"
+  "CMakeFiles/s2_encoding.dir/lz.cc.o"
+  "CMakeFiles/s2_encoding.dir/lz.cc.o.d"
+  "libs2_encoding.a"
+  "libs2_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_engine.dir/database.cc.o"
+  "CMakeFiles/s2_engine.dir/database.cc.o.d"
+  "libs2_engine.a"
+  "libs2_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_exec.dir/filter.cc.o"
+  "CMakeFiles/s2_exec.dir/filter.cc.o.d"
+  "CMakeFiles/s2_exec.dir/table_scanner.cc.o"
+  "CMakeFiles/s2_exec.dir/table_scanner.cc.o.d"
+  "libs2_exec.a"
+  "libs2_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/global_index.cc" "src/index/CMakeFiles/s2_index.dir/global_index.cc.o" "gcc" "src/index/CMakeFiles/s2_index.dir/global_index.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/s2_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/s2_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/key_lock_manager.cc" "src/index/CMakeFiles/s2_index.dir/key_lock_manager.cc.o" "gcc" "src/index/CMakeFiles/s2_index.dir/key_lock_manager.cc.o.d"
+  "/root/repo/src/index/postings.cc" "src/index/CMakeFiles/s2_index.dir/postings.cc.o" "gcc" "src/index/CMakeFiles/s2_index.dir/postings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/s2_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_index.dir/global_index.cc.o"
+  "CMakeFiles/s2_index.dir/global_index.cc.o.d"
+  "CMakeFiles/s2_index.dir/inverted_index.cc.o"
+  "CMakeFiles/s2_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/s2_index.dir/key_lock_manager.cc.o"
+  "CMakeFiles/s2_index.dir/key_lock_manager.cc.o.d"
+  "CMakeFiles/s2_index.dir/postings.cc.o"
+  "CMakeFiles/s2_index.dir/postings.cc.o.d"
+  "libs2_index.a"
+  "libs2_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

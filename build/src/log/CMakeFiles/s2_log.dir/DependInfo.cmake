@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/log_record.cc" "src/log/CMakeFiles/s2_log.dir/log_record.cc.o" "gcc" "src/log/CMakeFiles/s2_log.dir/log_record.cc.o.d"
+  "/root/repo/src/log/partition_log.cc" "src/log/CMakeFiles/s2_log.dir/partition_log.cc.o" "gcc" "src/log/CMakeFiles/s2_log.dir/partition_log.cc.o.d"
+  "/root/repo/src/log/snapshot.cc" "src/log/CMakeFiles/s2_log.dir/snapshot.cc.o" "gcc" "src/log/CMakeFiles/s2_log.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_log.dir/log_record.cc.o"
+  "CMakeFiles/s2_log.dir/log_record.cc.o.d"
+  "CMakeFiles/s2_log.dir/partition_log.cc.o"
+  "CMakeFiles/s2_log.dir/partition_log.cc.o.d"
+  "CMakeFiles/s2_log.dir/snapshot.cc.o"
+  "CMakeFiles/s2_log.dir/snapshot.cc.o.d"
+  "libs2_log.a"
+  "libs2_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s2_log.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_query.dir/expr.cc.o"
+  "CMakeFiles/s2_query.dir/expr.cc.o.d"
+  "CMakeFiles/s2_query.dir/plan.cc.o"
+  "CMakeFiles/s2_query.dir/plan.cc.o.d"
+  "libs2_query.a"
+  "libs2_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rowstore/rowstore_table.cc" "src/rowstore/CMakeFiles/s2_rowstore.dir/rowstore_table.cc.o" "gcc" "src/rowstore/CMakeFiles/s2_rowstore.dir/rowstore_table.cc.o.d"
+  "/root/repo/src/rowstore/skiplist.cc" "src/rowstore/CMakeFiles/s2_rowstore.dir/skiplist.cc.o" "gcc" "src/rowstore/CMakeFiles/s2_rowstore.dir/skiplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_rowstore.dir/rowstore_table.cc.o"
+  "CMakeFiles/s2_rowstore.dir/rowstore_table.cc.o.d"
+  "CMakeFiles/s2_rowstore.dir/skiplist.cc.o"
+  "CMakeFiles/s2_rowstore.dir/skiplist.cc.o.d"
+  "libs2_rowstore.a"
+  "libs2_rowstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_rowstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

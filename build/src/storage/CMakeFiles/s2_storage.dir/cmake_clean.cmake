@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_storage.dir/partition.cc.o"
+  "CMakeFiles/s2_storage.dir/partition.cc.o.d"
+  "CMakeFiles/s2_storage.dir/table_options.cc.o"
+  "CMakeFiles/s2_storage.dir/table_options.cc.o.d"
+  "CMakeFiles/s2_storage.dir/unified_table.cc.o"
+  "CMakeFiles/s2_storage.dir/unified_table.cc.o.d"
+  "libs2_storage.a"
+  "libs2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/s2_txn.dir/txn_manager.cc.o.d"
+  "libs2_txn.a"
+  "libs2_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_test.dir/blob_test.cc.o"
+  "CMakeFiles/blob_test.dir/blob_test.cc.o.d"
+  "blob_test"
+  "blob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnstore_test.dir/columnstore_test.cc.o"
+  "CMakeFiles/columnstore_test.dir/columnstore_test.cc.o.d"
+  "columnstore_test"
+  "columnstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/s2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/s2_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnstore/CMakeFiles/s2_columnstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/s2_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/s2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/s2_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowstore/CMakeFiles/s2_rowstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/s2_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowstore_test.dir/rowstore_test.cc.o"
+  "CMakeFiles/rowstore_test.dir/rowstore_test.cc.o.d"
+  "rowstore_test"
+  "rowstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
