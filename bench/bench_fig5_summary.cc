@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "engine/database.h"
+#include "exec/filter.h"
 #include "workloads/tpcc.h"
 #include "workloads/tpch.h"
 
@@ -59,6 +60,66 @@ double TpchThroughput(EngineProfile profile, double sf) {
     if (!rows.ok()) return 0;
   }
   return 22.0 / timer.Seconds();
+}
+
+// Scatter-gather scaling: the same scan-heavy query on a 4-partition
+// database with a 1-thread vs an N-thread executor. Rows must come back
+// byte-identical; on multi-core hosts the wall-clock ratio shows the
+// executor-layer speedup.
+bench::ScatterScaling ScatterSpeedup(size_t threads) {
+  bench::ScratchDir serial_dir("s2-fig5-scatter1");
+  bench::ScratchDir parallel_dir("s2-fig5-scatterN");
+  int rows = bench::EnvInt("S2_BENCH_SCATTER_ROWS", 40000);
+
+  auto open = [&](const std::string& dir, size_t nthreads) {
+    DatabaseOptions opts;
+    opts.dir = dir;
+    opts.num_partitions = 4;
+    opts.num_exec_threads = nthreads;
+    auto db = Database::Open(opts);
+    if (!db.ok()) return std::unique_ptr<Database>();
+    TableOptions topts;
+    topts.schema = Schema({{"id", DataType::kInt64},
+                           {"cat", DataType::kInt64},
+                           {"score", DataType::kDouble}});
+    topts.segment_rows = 4096;
+    topts.flush_threshold = 4096;
+    if (!(*db)->CreateTable("pts", topts, {0}).ok()) {
+      return std::unique_ptr<Database>();
+    }
+    std::vector<Row> batch;
+    for (int64_t i = 0; i < rows; ++i) {
+      batch.push_back({Value(i), Value(i % 97),
+                       Value(static_cast<double>(i) * 0.25)});
+      if (batch.size() == 2048) {
+        if (!(*db)->Insert("pts", batch).ok()) return std::unique_ptr<Database>();
+        batch.clear();
+      }
+    }
+    if (!batch.empty() && !(*db)->Insert("pts", batch).ok()) {
+      return std::unique_ptr<Database>();
+    }
+    if (!(*db)->Maintain().ok()) return std::unique_ptr<Database>();
+    return std::move(*db);
+  };
+
+  auto serial = open(serial_dir.path(), 1);
+  auto parallel = open(parallel_dir.path(), threads);
+  if (serial == nullptr || parallel == nullptr) return {};
+
+  auto factory = [] {
+    return std::make_unique<ScanOp>(
+        "pts", std::vector<int>{0, 2},
+        FilterCmp(1, CmpOp::kLt, Value(int64_t{80})));
+  };
+  auto encode = [](const std::vector<Row>& out) {
+    std::string s;
+    for (const Row& row : out) s += EncodeKey(row);
+    return s;
+  };
+  int iters = bench::EnvInt("S2_BENCH_SCATTER_ITERS", 5);
+  return bench::MeasureScatterScaling(serial.get(), parallel.get(), factory,
+                                      encode, iters);
 }
 
 void PrintBar(const char* product, double value, double best,
@@ -112,5 +173,26 @@ int main() {
          best_tpcc > 0 ? 100.0 * tpcc_s2 / best_tpcc : 0,
          best_tpch > 0 ? 100.0 * tpch_s2 / best_tpch : 0,
          best_tpch > 0 ? 100.0 * tpch_cdb / best_tpch : 0);
+
+  size_t scatter_threads = static_cast<size_t>(
+      bench::EnvInt("S2_BENCH_SCATTER_THREADS", 4));
+  bench::ScatterScaling scatter = ScatterSpeedup(scatter_threads);
+  printf("\nScatter-gather executor scaling (%zu partitions, %zu threads):\n",
+         size_t{4}, scatter_threads);
+  printf("  serial %.3f ms/query, parallel %.3f ms/query, speedup %.2fx, "
+         "rows %zu, identical=%s\n",
+         scatter.serial_seconds * 1e3, scatter.parallel_seconds * 1e3,
+         scatter.speedup, scatter.rows, scatter.identical ? "yes" : "NO");
+
+  // Machine-readable summary (one line, greppable from CI logs).
+  printf("\n{\"bench\":\"fig5_summary\","
+         "\"tpcc_tpmc\":{\"s2db\":%.1f,\"cdb\":%.1f,\"cdw\":%.1f},"
+         "\"tpch_qps\":{\"s2db\":%.3f,\"cdw\":%.3f,\"cdb\":%.3f},"
+         "\"scatter_speedup\":{\"threads\":%zu,\"serial_s\":%.6f,"
+         "\"parallel_s\":%.6f,\"speedup\":%.3f,\"rows\":%zu,"
+         "\"identical\":%s}}\n",
+         tpcc_s2, tpcc_cdb, tpcc_cdw, tpch_s2, tpch_cdw, tpch_cdb,
+         scatter_threads, scatter.serial_seconds, scatter.parallel_seconds,
+         scatter.speedup, scatter.rows, scatter.identical ? "true" : "false");
   return 0;
 }

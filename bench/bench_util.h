@@ -67,6 +67,46 @@ inline void PrintHeader(const char* title) {
   printf("================================================================\n");
 }
 
+/// Result of a scatter-gather scaling measurement: the same query run on
+/// two identically loaded databases, one with a 1-thread executor and one
+/// with an N-thread executor.
+struct ScatterScaling {
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  double speedup = 0;       // serial / parallel wall time
+  bool identical = false;   // parallel rows byte-identical to serial
+  size_t rows = 0;          // rows returned per query
+};
+
+/// Times `iters` ScatterQuery rounds on each database and checks that the
+/// parallel executor returns byte-identical rows in the same order as the
+/// serial one. `db` is any object with Query(factory) -> Result<rows>
+/// (Database), and `encode` turns one result set into a comparable string.
+template <typename DB, typename Factory, typename Encode>
+ScatterScaling MeasureScatterScaling(DB* serial_db, DB* parallel_db,
+                                     const Factory& factory,
+                                     const Encode& encode, int iters) {
+  ScatterScaling out;
+  auto serial_rows = serial_db->Query(factory);
+  auto parallel_rows = parallel_db->Query(factory);
+  if (!serial_rows.ok() || !parallel_rows.ok()) return out;
+  out.rows = serial_rows->size();
+  out.identical = encode(*serial_rows) == encode(*parallel_rows);
+  {
+    Timer t;
+    for (int i = 0; i < iters; ++i) (void)serial_db->Query(factory);
+    out.serial_seconds = t.Seconds() / iters;
+  }
+  {
+    Timer t;
+    for (int i = 0; i < iters; ++i) (void)parallel_db->Query(factory);
+    out.parallel_seconds = t.Seconds() / iters;
+  }
+  out.speedup =
+      out.parallel_seconds > 0 ? out.serial_seconds / out.parallel_seconds : 0;
+  return out;
+}
+
 }  // namespace bench
 }  // namespace s2
 

@@ -10,22 +10,61 @@ DataFileStore::DataFileStore(BlobStore* blob, DataFileStoreOptions options)
     : blob_(blob), options_(std::move(options)) {
   if (!options_.local_dir.empty()) (void)CreateDirs(options_.local_dir);
   if (blob_ != nullptr && options_.background_uploads) {
-    uploader_ = std::thread([this] { UploadLoop(); });
+    exec_ = options_.executor != nullptr ? options_.executor
+                                         : Executor::Default();
   }
 }
 
 DataFileStore::~DataFileStore() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  upload_cv_.notify_all();
-  if (uploader_.joinable()) uploader_.join();
+  // No private thread to join; wait for the executor-scheduled pump (if
+  // queued or running) to observe shutdown_ and exit, so no task touches
+  // this store afterwards.
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  drain_cv_.wait(lock, [this] {
+    return !pump_scheduled_ && uploads_inflight_ == 0;
+  });
 }
 
 void DataFileStore::SetFileHook(FileHook hook) {
   std::lock_guard<std::mutex> lock(mu_);
   file_hook_ = std::move(hook);
+}
+
+void DataFileStore::SchedulePumpLocked() {
+  if (exec_ == nullptr || pump_scheduled_ || shutdown_ ||
+      upload_queue_.empty()) {
+    return;
+  }
+  pump_scheduled_ = true;
+  if (!exec_->Submit([this] { PumpUploads(); })) pump_scheduled_ = false;
+}
+
+void DataFileStore::PumpUploads() {
+  for (;;) {
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Park on shutdown, an empty queue, or a sticky error (the file was
+      // requeued; the next Write or DrainUploads retries).
+      if (shutdown_ || upload_queue_.empty() || !last_upload_error_.ok()) {
+        pump_scheduled_ = false;
+        drain_cv_.notify_all();
+        return;
+      }
+      name = std::move(upload_queue_.front());
+      upload_queue_.pop_front();
+      ++uploads_inflight_;
+    }
+    Status s = UploadOne(name);
+    std::lock_guard<std::mutex> lock(mu_);
+    --uploads_inflight_;
+    if (!s.ok()) {
+      upload_queue_.push_front(name);
+      last_upload_error_ = s;
+    }
+    if (upload_queue_.empty() || !s.ok()) drain_cv_.notify_all();
+  }
 }
 
 Status DataFileStore::Write(const std::string& name,
@@ -59,7 +98,9 @@ Status DataFileStore::Write(const std::string& name,
   stats_.files_written.fetch_add(1);
   if (blob_ != nullptr) {
     upload_queue_.push_back(name);
-    upload_cv_.notify_one();
+    // A retry on a parked error: give the queue another chance.
+    last_upload_error_ = Status::OK();
+    SchedulePumpLocked();
   }
   EvictColdLocked();
   return Status::OK();
@@ -106,7 +147,7 @@ Result<std::shared_ptr<const std::string>> DataFileStore::Read(
     entry.uploaded = blob_ != nullptr && blob_->Exists(BlobKey(name));
     if (blob_ != nullptr && !entry.uploaded) {
       upload_queue_.push_back(name);
-      upload_cv_.notify_one();
+      SchedulePumpLocked();
     }
     cached_bytes_ += data->size();
     lru_.push_front(name);
@@ -145,35 +186,43 @@ Status DataFileStore::Remove(const std::string& name) {
 
 Status DataFileStore::DrainUploads() {
   if (blob_ == nullptr) return Status::OK();
-  if (!options_.background_uploads) {
-    // Synchronous drain for deterministic tests.
-    for (;;) {
-      std::string name;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (upload_queue_.empty()) {
-          last_upload_error_ = Status::OK();
-          return Status::OK();
-        }
-        name = upload_queue_.front();
-        upload_queue_.pop_front();
-      }
-      Status s = UploadOne(name);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        upload_queue_.push_front(name);
-        last_upload_error_ = s;
+  {
+    // A stale error from a parked pump is retried below, not re-reported.
+    std::lock_guard<std::mutex> lock(mu_);
+    last_upload_error_ = Status::OK();
+  }
+  // The calling thread drains the queue itself, cooperating with any
+  // running pump task through the shared queue. It therefore never blocks
+  // on a task that cannot be scheduled (safe inside executor tasks).
+  for (;;) {
+    std::string name;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!last_upload_error_.ok()) {
+        // A concurrent pump attempt failed while we drained.
+        Status s = last_upload_error_;
         return s;
       }
+      if (upload_queue_.empty()) {
+        if (uploads_inflight_ == 0) return Status::OK();
+        drain_cv_.wait(lock);  // a pump attempt is mid-flight; let it land
+        continue;
+      }
+      name = std::move(upload_queue_.front());
+      upload_queue_.pop_front();
+      ++uploads_inflight_;
     }
+    Status s = UploadOne(name);
+    std::lock_guard<std::mutex> lock(mu_);
+    --uploads_inflight_;
+    if (!s.ok()) {
+      upload_queue_.push_front(name);
+      last_upload_error_ = s;
+      drain_cv_.notify_all();
+      return s;
+    }
+    if (upload_queue_.empty()) drain_cv_.notify_all();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] {
-    return upload_queue_.empty() || !last_upload_error_.ok();
-  });
-  Status s = last_upload_error_;
-  last_upload_error_ = Status::OK();
-  return s;
 }
 
 size_t DataFileStore::PendingUploads() const {
@@ -202,35 +251,6 @@ void DataFileStore::ForEachFile(
     }
   }
   for (auto& [name, data] : resident) cb(name, data);
-}
-
-void DataFileStore::UploadLoop() {
-  for (;;) {
-    std::string name;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      upload_cv_.wait(lock,
-                      [this] { return shutdown_ || !upload_queue_.empty(); });
-      if (upload_queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      name = upload_queue_.front();
-      upload_queue_.pop_front();
-    }
-    Status s = UploadOne(name);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!s.ok()) {
-      // Requeue and back off via cv wait on next loop; record the error for
-      // DrainUploads observers.
-      upload_queue_.push_back(name);
-      last_upload_error_ = s;
-      drain_cv_.notify_all();
-      if (shutdown_) return;
-    } else if (upload_queue_.empty()) {
-      drain_cv_.notify_all();
-    }
-  }
 }
 
 Status DataFileStore::UploadOne(const std::string& name) {

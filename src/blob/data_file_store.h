@@ -9,12 +9,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "blob/blob_store.h"
+#include "common/executor.h"
 #include "common/result.h"
 
 namespace s2 {
@@ -30,8 +30,12 @@ struct DataFileStoreOptions {
   /// yet uploaded are pinned and never evicted regardless of this limit.
   size_t local_cache_bytes = 256ull << 20;
   /// When false, uploads only happen via DrainUploads() (deterministic
-  /// tests); when true a background thread uploads as quickly as possible.
+  /// tests); when true upload tasks are scheduled on `executor` (or the
+  /// process-wide Executor::Default() when null) as files are written.
   bool background_uploads = true;
+  /// Shared executor for background upload work. Not owned; must outlive
+  /// the store. Null = Executor::Default().
+  Executor* executor = nullptr;
 };
 
 struct DataFileStats {
@@ -55,6 +59,12 @@ struct DataFileStats {
 ///    more data than fits on local disk.
 ///  - Remove() drops a file from local storage only; blob history is
 ///    retained, enabling point-in-time restore without explicit backups.
+///
+/// Background uploads run as tasks on the shared Executor (no private
+/// thread): at most one "pump" task exists per store at a time; it drains
+/// the upload queue and exits, and is rescheduled by the next Write. On an
+/// upload error the pump parks (the file stays pinned and queued) until the
+/// next Write or DrainUploads retries.
 ///
 /// Works without a blob store too (`blob == nullptr`): then it behaves like
 /// plain local storage and never evicts.
@@ -91,6 +101,9 @@ class DataFileStore {
 
   /// Blocks until every pending upload has been attempted once; returns the
   /// first upload error if any (files stay pinned and queued on failure).
+  /// The caller's thread participates in draining the queue, so this is
+  /// safe to call from an executor task (it never waits on a task that
+  /// cannot be scheduled).
   Status DrainUploads();
 
   /// Number of files written but not yet uploaded.
@@ -120,7 +133,12 @@ class DataFileStore {
   std::string BlobKey(const std::string& name) const {
     return options_.blob_prefix + name;
   }
-  void UploadLoop();
+  /// Submits the upload pump to the executor if it is not already queued
+  /// or running. mu_ must be held.
+  void SchedulePumpLocked();
+  /// The executor task: drains the upload queue, then exits. At most one
+  /// instance exists at a time (pump_scheduled_).
+  void PumpUploads();
   Status UploadOne(const std::string& name);
   void TouchLocked(const std::string& name, Entry* entry);
   void EvictColdLocked();
@@ -128,9 +146,9 @@ class DataFileStore {
   BlobStore* blob_;  // not owned; may be null
   DataFileStoreOptions options_;
   DataFileStats stats_;
+  Executor* exec_ = nullptr;  // non-null iff background uploads are on
 
   mutable std::mutex mu_;
-  std::condition_variable upload_cv_;
   std::condition_variable drain_cv_;
   std::unordered_map<std::string, Entry> files_;
   std::list<std::string> lru_;  // front = most recent
@@ -138,8 +156,9 @@ class DataFileStore {
   size_t cached_bytes_ = 0;
   FileHook file_hook_;
   bool shutdown_ = false;
+  bool pump_scheduled_ = false;  // a pump task is queued or running
+  size_t uploads_inflight_ = 0;  // UploadOne calls currently executing
   Status last_upload_error_;
-  std::thread uploader_;
 };
 
 }  // namespace s2

@@ -8,6 +8,7 @@ namespace s2 {
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   if (options_.num_nodes < 1) options_.num_nodes = 1;
   if (options_.num_partitions < 1) options_.num_partitions = 1;
+  executor_ = std::make_unique<Executor>(options_.num_exec_threads);
 }
 
 Cluster::~Cluster() = default;
@@ -28,6 +29,7 @@ Status Cluster::Start() {
     popts.auto_maintain = options_.auto_maintain;
     popts.background_uploads = options_.background_uploads;
     popts.sync_blob_commit = options_.sync_blob_commit;
+    popts.executor = executor_.get();
     site.master = std::make_unique<Partition>(popts);
     S2_RETURN_NOT_OK(site.master->Init());
     masters_[p] = site.master.get();
@@ -178,24 +180,56 @@ Status Cluster::InsertRows(const std::string& table,
 
 Result<std::vector<Row>> Cluster::ScatterQuery(
     const std::function<PlanPtr()>& factory, int workspace_id) {
-  std::vector<Row> out;
-  for (int p = 0; p < options_.num_partitions; ++p) {
-    Partition* partition = workspace_id < 0
-                               ? masters_[p]
-                               : WorkspacePartition(workspace_id, p);
-    if (partition == nullptr) {
+  const int n = options_.num_partitions;
+  // Resolve targets and instantiate per-partition plans up front, on the
+  // caller's thread: the factory is caller-supplied and need not be
+  // thread-safe.
+  std::vector<Partition*> targets(static_cast<size_t>(n));
+  std::vector<PlanPtr> plans(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    targets[p] = workspace_id < 0 ? masters_[p]
+                                  : WorkspacePartition(workspace_id, p);
+    if (targets[p] == nullptr) {
       return Status::NotFound("no such workspace partition");
     }
+    plans[p] = factory();
+  }
+
+  // Scatter: each partition's plan runs as an executor task; the cancel
+  // token tears down in-flight siblings as soon as one partition fails.
+  std::vector<std::vector<Row>> results(static_cast<size_t>(n));
+  CancelToken cancel;
+  auto run_one = [&](size_t p) -> Status {
+    Partition* partition = targets[p];
     QueryContext ctx;
     ctx.partition = partition;
     TxnManager::TxnHandle h = partition->Begin();
     ctx.txn = h.id;
     ctx.read_ts = h.read_ts;
-    PlanPtr plan = factory();
-    auto rows = RunPlan(plan.get(), &ctx);
+    ctx.scan_options.executor = executor_.get();
+    ctx.scan_options.cancel = &cancel;
+    auto rows = RunPlan(plans[p].get(), &ctx);
     partition->EndRead(h.id);
     S2_RETURN_NOT_OK(rows.status());
-    for (Row& row : *rows) out.push_back(std::move(row));
+    results[p] = std::move(*rows);
+    return Status::OK();
+  };
+  Executor* ex = executor_.get();
+  if (ex->num_threads() > 1 && n > 1) {
+    S2_RETURN_NOT_OK(ex->ParallelFor(static_cast<size_t>(n), run_one,
+                                     &cancel));
+  } else {
+    for (int p = 0; p < n; ++p) S2_RETURN_NOT_OK(run_one(p));
+  }
+
+  // Gather: concatenate in partition order so results are deterministic
+  // and identical to the serial scatter.
+  size_t total = 0;
+  for (const auto& rows : results) total += rows.size();
+  std::vector<Row> out;
+  out.reserve(total);
+  for (auto& rows : results) {
+    for (Row& row : rows) out.push_back(std::move(row));
   }
   return out;
 }
@@ -369,9 +403,14 @@ Result<std::unique_ptr<Partition>> Cluster::RestorePartitionToLsn(
 }
 
 Status Cluster::Maintain() {
-  for (int p = 0; p < options_.num_partitions; ++p) {
-    S2_RETURN_NOT_OK(masters_[p]->Maintain());
+  const int n = options_.num_partitions;
+  Executor* ex = executor_.get();
+  if (ex->num_threads() > 1 && n > 1) {
+    return ex->ParallelFor(static_cast<size_t>(n), [&](size_t p) {
+      return masters_[p]->Maintain();
+    });
   }
+  for (int p = 0; p < n; ++p) S2_RETURN_NOT_OK(masters_[p]->Maintain());
   return Status::OK();
 }
 

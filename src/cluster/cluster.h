@@ -9,6 +9,7 @@
 
 #include "blob/blob_store.h"
 #include "cluster/replica.h"
+#include "common/executor.h"
 #include "query/plan.h"
 #include "storage/partition.h"
 #include "storage/table_options.h"
@@ -31,6 +32,10 @@ struct ClusterOptions {
   bool background_uploads = false;
   /// Forwarded to every partition (CDW baseline).
   bool sync_blob_commit = false;
+  /// Worker threads in the cluster's shared executor, used for query
+  /// fan-out, parallel segment scans, maintenance and background uploads.
+  /// 0 = hardware concurrency; 1 = fully serial execution.
+  size_t num_exec_threads = 0;
 };
 
 /// An in-process simulated S2DB cluster: an aggregator (this object)
@@ -139,7 +144,13 @@ class Cluster {
   Result<std::unique_ptr<Partition>> RestorePartitionToLsn(
       int partition_id, Lsn lsn, const std::string& dir);
 
+  /// Flush/merge/vacuum every partition; partitions run in parallel on the
+  /// cluster executor.
   Status Maintain();
+
+  /// The cluster-wide executor (scatter queries, parallel scans,
+  /// maintenance, uploads).
+  Executor* executor() { return executor_.get(); }
 
  private:
   struct PartitionSite {
@@ -164,6 +175,9 @@ class Cluster {
   Status ProvisionReplica(int partition_id, int node_id);
 
   ClusterOptions options_;
+  /// Declared before sites_ so it is destroyed after them: partition
+  /// destructors may wait on tasks still queued on this executor.
+  std::unique_ptr<Executor> executor_;
   std::vector<bool> node_alive_;
   std::vector<PartitionSite> sites_;
   std::vector<Partition*> masters_;   // resolved current masters

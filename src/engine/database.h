@@ -38,6 +38,10 @@ struct DatabaseOptions {
   bool auto_maintain = true;
   bool background_uploads = false;
   EngineProfile profile = EngineProfile::kUnified;
+  /// Worker threads for the cluster executor (query fan-out, parallel
+  /// segment scans, maintenance, uploads). 0 = hardware concurrency;
+  /// 1 = fully serial execution.
+  size_t num_exec_threads = 0;
 };
 
 /// The public façade: open a database, create tables, write rows, run

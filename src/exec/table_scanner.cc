@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 
 #include "index/inverted_index.h"
 #include "index/postings.h"
@@ -33,15 +34,18 @@ TableScanner::TableScanner(UnifiedTable* table, ScanOptions options)
 Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
                           const std::function<bool(const ScanBatch&)>& cb) {
   bool stop = false;
+  WorkerState root;
 
-  // Level 0 rowstore: row-at-a-time filter (it is small by design).
+  // Level 0 rowstore: row-at-a-time filter (it is small by design). Always
+  // scanned serially first so rowstore rows precede segment rows
+  // deterministically.
   ScanBatch batch;
   for (int c : projection_) {
     batch.columns.emplace_back(table_->schema().column(c).type);
   }
   auto flush_batch = [&]() -> bool {
     if (batch.num_rows == 0) return true;
-    stats_.rows_output += batch.num_rows;
+    root.stats.rows_output += batch.num_rows;
     bool keep_going = cb(batch);
     for (auto& col : batch.columns) col.Clear();
     batch.locations.clear();
@@ -51,7 +55,7 @@ Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
 
   table_->ScanRowstore(txn, read_ts, [&](const Row& row,
                                          const RowLocation& loc) {
-    ++stats_.rows_considered;
+    ++root.stats.rows_considered;
     if (options_.filter != nullptr && !options_.filter->EvalRow(row)) {
       return true;
     }
@@ -69,17 +73,111 @@ Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
     return true;
   });
   if (!stop && !flush_batch()) stop = true;
-  if (stop) return Status::OK();
+  if (Cancelled()) {
+    stats_.Merge(root.stats);
+    return Status::Aborted("scan cancelled");
+  }
+  if (stop) {
+    stats_.Merge(root.stats);
+    return Status::OK();
+  }
 
   // Columnstore segments.
   S2_ASSIGN_OR_RETURN(std::vector<SegmentSnapshot> segments,
                       table_->GetSegments(read_ts));
-  stats_.segments_total += segments.size();
+  root.stats.segments_total += segments.size();
+
+  bool parallel = options_.executor != nullptr &&
+                  options_.executor->num_threads() > 1 && segments.size() > 1;
+  if (parallel) {
+    Status s = ScanSegmentsParallel(segments, cb, root);
+    stats_.Merge(root.stats);
+    return s;
+  }
+
+  BatchSink serial_sink = [&](ScanBatch&& b) { return cb(b); };
   for (const SegmentSnapshot& snap : segments) {
-    S2_RETURN_NOT_OK(ScanSegment(snap, cb, &stop));
+    if (Cancelled()) {
+      stats_.Merge(root.stats);
+      return Status::Aborted("scan cancelled");
+    }
+    Status s = ScanSegment(root, snap, serial_sink, &stop);
+    if (!s.ok()) {
+      stats_.Merge(root.stats);
+      return s;
+    }
     if (stop) break;
   }
+  stats_.Merge(root.stats);
   return Status::OK();
+}
+
+Status TableScanner::ScanSegmentsParallel(
+    const std::vector<SegmentSnapshot>& segments,
+    const std::function<bool(const ScanBatch&)>& cb, WorkerState& root) {
+  // Morsel-parallel scan: segments split into contiguous chunks, one per
+  // worker; each worker scans its chunk with private adaptive state and
+  // posts per-segment batch lists to a sequencer that delivers them to the
+  // callback in segment order (single-threaded, deterministic).
+  struct SegmentResult {
+    std::vector<ScanBatch> batches;
+    bool done = false;
+  };
+  const size_t num_segments = segments.size();
+  size_t workers =
+      std::min(options_.executor->num_threads(), num_segments);
+  std::vector<WorkerState> states(workers);
+  std::vector<SegmentResult> results(num_segments);
+  std::mutex emit_mu;           // guards results/next_emit and the callback
+  size_t next_emit = 0;
+  std::atomic<bool> hard_stop{false};  // LIMIT hit or delivered error
+
+  Status s = options_.executor->ParallelFor(
+      workers,
+      [&](size_t w) -> Status {
+        WorkerState& ws = states[w];
+        size_t begin = w * num_segments / workers;
+        size_t end = (w + 1) * num_segments / workers;
+        for (size_t i = begin; i < end; ++i) {
+          if (hard_stop.load(std::memory_order_acquire)) return Status::OK();
+          if (Cancelled()) return Status::Aborted("scan cancelled");
+          std::vector<ScanBatch> local;
+          bool seg_stop = false;
+          Status seg_status = ScanSegment(
+              ws, segments[i],
+              [&](ScanBatch&& b) {
+                local.push_back(std::move(b));
+                // Keep producing unless the whole scan already stopped.
+                return !hard_stop.load(std::memory_order_relaxed);
+              },
+              &seg_stop);
+          // Sequencer: record this segment, then deliver every ready
+          // segment in order. Errors surface at their in-order position so
+          // the scan reports the same (first) error the serial scan would.
+          std::lock_guard<std::mutex> lock(emit_mu);
+          if (!seg_status.ok()) {
+            hard_stop.store(true, std::memory_order_release);
+            return seg_status;
+          }
+          results[i].batches = std::move(local);
+          results[i].done = true;
+          while (next_emit < num_segments && results[next_emit].done &&
+                 !hard_stop.load(std::memory_order_acquire)) {
+            for (ScanBatch& b : results[next_emit].batches) {
+              if (!cb(b)) {
+                hard_stop.store(true, std::memory_order_release);
+                break;
+              }
+            }
+            results[next_emit].batches.clear();
+            ++next_emit;
+          }
+        }
+        return Status::OK();
+      },
+      nullptr);
+  for (const WorkerState& ws : states) root.stats.Merge(ws.stats);
+  return s;
 }
 
 bool TableScanner::ZoneMapPasses(const FilterNode* conjunct,
@@ -111,7 +209,8 @@ bool TableScanner::ZoneMapPasses(const FilterNode* conjunct,
 }
 
 Result<bool> TableScanner::IndexBaseSelection(
-    const Segment& segment, const std::vector<const FilterNode*>& conjuncts,
+    WorkerState& ws, const Segment& segment,
+    const std::vector<const FilterNode*>& conjuncts,
     std::vector<const FilterNode*>* consumed, std::vector<uint32_t>* rows) {
   if (!options_.use_secondary_index) return false;
   // One sorted row-set per index-eligible conjunct; intersected at the end
@@ -161,13 +260,12 @@ Result<bool> TableScanner::IndexBaseSelection(
                           sets[i].end(), std::back_inserter(merged));
     *rows = std::move(merged);
   }
-  ++stats_.index_filter_uses;
+  ++ws.stats.index_filter_uses;
   return true;
 }
 
-Status TableScanner::ScanSegment(
-    const SegmentSnapshot& snap,
-    const std::function<bool(const ScanBatch&)>& cb, bool* stop) {
+Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
+                                 const BatchSink& sink, bool* stop) {
   const Segment& segment = *snap.segment;
   std::vector<const FilterNode*> conjuncts;
   CollectTopLevelConjuncts(options_.filter, &conjuncts);
@@ -176,7 +274,7 @@ Status TableScanner::ScanSegment(
   if (options_.use_zone_maps) {
     for (const FilterNode* conjunct : conjuncts) {
       if (!ZoneMapPasses(conjunct, segment)) {
-        ++stats_.segments_skipped_zone;
+        ++ws.stats.segments_skipped_zone;
         return Status::OK();
       }
     }
@@ -185,17 +283,18 @@ Status TableScanner::ScanSegment(
   // Step 2: base row selection via the per-segment inverted indexes.
   std::vector<uint32_t> rows;
   std::vector<const FilterNode*> consumed;
-  S2_ASSIGN_OR_RETURN(bool used_index,
-                      IndexBaseSelection(segment, conjuncts, &consumed, &rows));
+  S2_ASSIGN_OR_RETURN(
+      bool used_index,
+      IndexBaseSelection(ws, segment, conjuncts, &consumed, &rows));
   if (used_index && rows.empty()) {
-    ++stats_.segments_skipped_index;
+    ++ws.stats.segments_skipped_index;
     return Status::OK();
   }
   if (!used_index) {
     rows.resize(segment.num_rows());
     for (uint32_t r = 0; r < segment.num_rows(); ++r) rows[r] = r;
   }
-  stats_.rows_considered += rows.size();
+  ws.stats.rows_considered += rows.size();
 
   // Step 3: drop deleted rows (cheap bit check, never merge-based).
   if (snap.deletes != nullptr) {
@@ -224,6 +323,7 @@ Status TableScanner::ScanSegment(
     std::vector<uint32_t> selected;
     size_t block = options_.block_rows;
     for (size_t begin = 0; begin < rows.size() && !*stop; begin += block) {
+      if (Cancelled()) return Status::Aborted("scan cancelled");
       size_t end = std::min(rows.size(), begin + block);
       std::vector<uint32_t> block_rows(rows.begin() + begin,
                                        rows.begin() + end);
@@ -231,8 +331,8 @@ Status TableScanner::ScanSegment(
         // Order conjuncts by (1 - P) / cost, descending (Section 5.2).
         std::stable_sort(residual.begin(), residual.end(),
                          [&](const FilterNode* a, const FilterNode* b) {
-                           const ClauseStats& sa = StatsFor(a);
-                           const ClauseStats& sb = StatsFor(b);
+                           const ClauseStats& sa = ws.StatsFor(a);
+                           const ClauseStats& sb = ws.StatsFor(b);
                            double ra = (1.0 - sa.selectivity()) /
                                        std::max(1.0, sa.cost_ns_per_row);
                            double rb = (1.0 - sb.selectivity()) /
@@ -244,13 +344,13 @@ Status TableScanner::ScanSegment(
       // evaluating the whole condition at once avoids per-clause overhead.
       bool all_wide = options_.use_group_filter && residual.size() > 1;
       for (const FilterNode* clause : residual) {
-        if (StatsFor(clause).rows_in < 512 ||
-            StatsFor(clause).selectivity() < 0.75) {
+        if (ws.StatsFor(clause).rows_in < 512 ||
+            ws.StatsFor(clause).selectivity() < 0.75) {
           all_wide = false;
         }
       }
       if (all_wide) {
-        ++stats_.group_filter_uses;
+        ++ws.stats.group_filter_uses;
         std::vector<int> cols_needed;
         for (const FilterNode* clause : residual) {
           std::vector<const FilterNode*> leaves;
@@ -289,31 +389,31 @@ Status TableScanner::ScanSegment(
       std::vector<uint32_t> current = std::move(block_rows);
       for (const FilterNode* clause : residual) {
         if (current.empty()) break;
-        S2_ASSIGN_OR_RETURN(current,
-                            EvalNode(clause, segment, std::move(current)));
+        S2_ASSIGN_OR_RETURN(
+            current, EvalNode(ws, clause, segment, std::move(current)));
       }
       selected.insert(selected.end(), current.begin(), current.end());
     }
     rows = std::move(selected);
   }
 
-  return EmitRows(snap, rows, cb, stop);
+  return EmitRows(ws, snap, rows, sink, stop);
 }
 
 Result<std::vector<uint32_t>> TableScanner::EvalNode(
-    const FilterNode* node, const Segment& segment,
+    WorkerState& ws, const FilterNode* node, const Segment& segment,
     std::vector<uint32_t> rows) {
   switch (node->kind) {
     case FilterNode::Kind::kLeaf:
-      return EvalLeaf(node, segment, std::move(rows));
+      return EvalLeaf(ws, node, segment, std::move(rows));
     case FilterNode::Kind::kAnd: {
       std::vector<const FilterNode*> order;
       for (const auto& child : node->children) order.push_back(child.get());
       if (options_.adaptive_reorder) {
         std::stable_sort(order.begin(), order.end(),
                          [&](const FilterNode* a, const FilterNode* b) {
-                           const ClauseStats& sa = StatsFor(a);
-                           const ClauseStats& sb = StatsFor(b);
+                           const ClauseStats& sa = ws.StatsFor(a);
+                           const ClauseStats& sb = ws.StatsFor(b);
                            return (1.0 - sa.selectivity()) /
                                       std::max(1.0, sa.cost_ns_per_row) >
                                   (1.0 - sb.selectivity()) /
@@ -322,7 +422,8 @@ Result<std::vector<uint32_t>> TableScanner::EvalNode(
       }
       for (const FilterNode* child : order) {
         if (rows.empty()) break;
-        S2_ASSIGN_OR_RETURN(rows, EvalNode(child, segment, std::move(rows)));
+        S2_ASSIGN_OR_RETURN(rows,
+                            EvalNode(ws, child, segment, std::move(rows)));
       }
       return rows;
     }
@@ -334,8 +435,8 @@ Result<std::vector<uint32_t>> TableScanner::EvalNode(
         // cost first: accepted rows skip all later clauses.
         std::stable_sort(order.begin(), order.end(),
                          [&](const FilterNode* a, const FilterNode* b) {
-                           const ClauseStats& sa = StatsFor(a);
-                           const ClauseStats& sb = StatsFor(b);
+                           const ClauseStats& sa = ws.StatsFor(a);
+                           const ClauseStats& sb = ws.StatsFor(b);
                            return sa.selectivity() /
                                       std::max(1.0, sa.cost_ns_per_row) >
                                   sb.selectivity() /
@@ -347,7 +448,7 @@ Result<std::vector<uint32_t>> TableScanner::EvalNode(
       for (const FilterNode* child : order) {
         if (remaining.empty()) break;
         S2_ASSIGN_OR_RETURN(std::vector<uint32_t> pass,
-                            EvalNode(child, segment, remaining));
+                            EvalNode(ws, child, segment, remaining));
         std::vector<uint32_t> next_remaining;
         std::set_difference(remaining.begin(), remaining.end(), pass.begin(),
                             pass.end(), std::back_inserter(next_remaining));
@@ -362,10 +463,10 @@ Result<std::vector<uint32_t>> TableScanner::EvalNode(
 }
 
 Result<std::vector<uint32_t>> TableScanner::EvalLeaf(
-    const FilterNode* leaf, const Segment& segment,
+    WorkerState& ws, const FilterNode* leaf, const Segment& segment,
     std::vector<uint32_t> rows) {
   S2_ASSIGN_OR_RETURN(const ColumnReader* reader, segment.column(leaf->col));
-  ClauseStats& stats = StatsFor(leaf);
+  ClauseStats& stats = ws.StatsFor(leaf);
   uint64_t start_ns = NowNs();
   std::vector<uint32_t> out;
   out.reserve(rows.size());
@@ -376,7 +477,7 @@ Result<std::vector<uint32_t>> TableScanner::EvalLeaf(
   if (encoded) {
     // Encoded filter (Section 5.2): evaluate once per dictionary entry,
     // then test rows via their codes without decoding.
-    ++stats_.encoded_filter_uses;
+    ++ws.stats.encoded_filter_uses;
     std::vector<char> pass(dict->size());
     for (size_t d = 0; d < dict->size(); ++d) {
       pass[d] = leaf->EvalValue(dict->GetValue(d)) ? 1 : 0;
@@ -388,7 +489,7 @@ Result<std::vector<uint32_t>> TableScanner::EvalLeaf(
   } else {
     // Regular filter: selectively decode only the candidate rows (late
     // materialization) and evaluate.
-    ++stats_.regular_filter_uses;
+    ++ws.stats.regular_filter_uses;
     ColumnVector values(reader->type());
     reader->DecodeRows(rows, &values);
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -408,10 +509,9 @@ Result<std::vector<uint32_t>> TableScanner::EvalLeaf(
   return out;
 }
 
-Status TableScanner::EmitRows(const SegmentSnapshot& snap,
+Status TableScanner::EmitRows(WorkerState& ws, const SegmentSnapshot& snap,
                               const std::vector<uint32_t>& rows,
-                              const std::function<bool(const ScanBatch&)>& cb,
-                              bool* stop) {
+                              const BatchSink& sink, bool* stop) {
   if (rows.empty()) return Status::OK();
   size_t block = options_.block_rows;
   for (size_t begin = 0; begin < rows.size() && !*stop; begin += block) {
@@ -433,8 +533,8 @@ Status TableScanner::EmitRows(const SegmentSnapshot& snap,
       loc.row_offset = r;
       batch.locations.push_back(loc);
     }
-    stats_.rows_output += batch.num_rows;
-    if (!cb(batch)) *stop = true;
+    ws.stats.rows_output += batch.num_rows;
+    if (!sink(std::move(batch))) *stop = true;
   }
   return Status::OK();
 }

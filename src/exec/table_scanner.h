@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/executor.h"
 #include "exec/filter.h"
 #include "storage/unified_table.h"
 
@@ -32,8 +33,20 @@ struct ScanOptions {
 
   /// Rows per vectorized block; selectivity feedback flows block to block.
   size_t block_rows = 4096;
+
+  /// When set (and sized > 1 thread), segments are scanned in parallel
+  /// morsels on this executor; batches are still delivered to the callback
+  /// in segment order by a sequencer, so results are byte-identical to the
+  /// serial scan. Null = serial scan on the calling thread.
+  Executor* executor = nullptr;
+  /// Checked between segments and row blocks; a tripped token aborts the
+  /// scan with Status::Aborted (query fan-out cancels siblings on error).
+  const CancelToken* cancel = nullptr;
 };
 
+/// Per-scan counters. A value type so parallel scans can accumulate one
+/// instance per worker and Merge() them once at the end instead of sharing
+/// hot atomics across morsel workers.
 struct ScanStats {
   uint64_t segments_total = 0;
   uint64_t segments_skipped_zone = 0;
@@ -44,6 +57,18 @@ struct ScanStats {
   uint64_t encoded_filter_uses = 0;
   uint64_t group_filter_uses = 0;
   uint64_t regular_filter_uses = 0;
+
+  void Merge(const ScanStats& other) {
+    segments_total += other.segments_total;
+    segments_skipped_zone += other.segments_skipped_zone;
+    segments_skipped_index += other.segments_skipped_index;
+    rows_considered += other.rows_considered;
+    rows_output += other.rows_output;
+    index_filter_uses += other.index_filter_uses;
+    encoded_filter_uses += other.encoded_filter_uses;
+    group_filter_uses += other.group_filter_uses;
+    regular_filter_uses += other.regular_filter_uses;
+  }
 };
 
 /// One emitted batch: the projected columns (aligned) plus each row's
@@ -63,8 +88,10 @@ class TableScanner {
  public:
   TableScanner(UnifiedTable* table, ScanOptions options);
 
-  /// Runs the scan. `cb` is invoked per batch and returns false to stop
-  /// early (LIMIT). Thread-compatible: create one scanner per thread.
+  /// Runs the scan. `cb` is invoked per batch — always from one thread at
+  /// a time and in deterministic segment order, even when segments are
+  /// scanned in parallel — and returns false to stop early (LIMIT).
+  /// Thread-compatible: create one scanner per thread.
   Status Scan(TxnId txn, Timestamp read_ts,
               const std::function<bool(const ScanBatch&)>& cb);
 
@@ -84,17 +111,40 @@ class TableScanner {
     }
   };
 
-  Status ScanSegment(const SegmentSnapshot& snap,
-                     const std::function<bool(const ScanBatch&)>& cb,
-                     bool* stop);
+  /// Mutable scan state owned by one worker: its counters plus its
+  /// adaptive clause estimates. Parallel scans give each morsel worker its
+  /// own WorkerState (reordering adapts within the worker's morsel); the
+  /// stats halves are merged when the scan completes.
+  struct WorkerState {
+    ScanStats stats;
+    std::unordered_map<const FilterNode*, ClauseStats> clause_stats;
+
+    ClauseStats& StatsFor(const FilterNode* node) {
+      return clause_stats[node];
+    }
+  };
+
+  /// Internal emission: batches are moved to the sink (the serial path
+  /// forwards to the user callback; the parallel path buffers them for
+  /// in-order delivery).
+  using BatchSink = std::function<bool(ScanBatch&&)>;
+
+  Status ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
+                     const BatchSink& sink, bool* stop);
+
+  Status ScanSegmentsParallel(const std::vector<SegmentSnapshot>& segments,
+                              const std::function<bool(const ScanBatch&)>& cb,
+                              WorkerState& root);
 
   /// Evaluates `node` over `rows` (ascending offsets within the segment),
   /// returning the surviving offsets.
-  Result<std::vector<uint32_t>> EvalNode(const FilterNode* node,
+  Result<std::vector<uint32_t>> EvalNode(WorkerState& ws,
+                                         const FilterNode* node,
                                          const Segment& segment,
                                          std::vector<uint32_t> rows);
 
-  Result<std::vector<uint32_t>> EvalLeaf(const FilterNode* leaf,
+  Result<std::vector<uint32_t>> EvalLeaf(WorkerState& ws,
+                                         const FilterNode* leaf,
                                          const Segment& segment,
                                          std::vector<uint32_t> rows);
 
@@ -102,24 +152,24 @@ class TableScanner {
 
   /// Index-driven base selection for the segment; returns true when an
   /// index was applied (and fills *rows), false to scan all rows.
-  Result<bool> IndexBaseSelection(const Segment& segment,
+  Result<bool> IndexBaseSelection(WorkerState& ws, const Segment& segment,
                                   const std::vector<const FilterNode*>&
                                       conjuncts,
                                   std::vector<const FilterNode*>* consumed,
                                   std::vector<uint32_t>* rows);
 
-  Status EmitRows(const SegmentSnapshot& snap,
-                  const std::vector<uint32_t>& rows,
-                  const std::function<bool(const ScanBatch&)>& cb,
+  Status EmitRows(WorkerState& ws, const SegmentSnapshot& snap,
+                  const std::vector<uint32_t>& rows, const BatchSink& sink,
                   bool* stop);
 
-  ClauseStats& StatsFor(const FilterNode* node) { return clause_stats_[node]; }
+  bool Cancelled() const {
+    return options_.cancel != nullptr && options_.cancel->cancelled();
+  }
 
   UnifiedTable* table_;
   ScanOptions options_;
   std::vector<int> projection_;
   ScanStats stats_;
-  std::unordered_map<const FilterNode*, ClauseStats> clause_stats_;
 };
 
 }  // namespace s2

@@ -295,6 +295,9 @@ void RowStoreTable::ScanFrom(const Row& pk_prefix, TxnId txn,
 }
 
 void RowStoreTable::CommitTxn(TxnId txn, Timestamp commit_ts) {
+  // Shared table lock: the version-chain walk below must not race Purge,
+  // which truncates and frees chain tails under the exclusive lock.
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
   std::vector<SkipList::Node*> nodes;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -318,6 +321,9 @@ void RowStoreTable::CommitTxn(TxnId txn, Timestamp commit_ts) {
 }
 
 void RowStoreTable::AbortTxn(TxnId txn) {
+  // Shared table lock, as in CommitTxn: keeps Purge from freeing chain
+  // tails mid-walk.
+  std::shared_lock<std::shared_mutex> table_lock(table_lock_);
   std::vector<SkipList::Node*> nodes;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);

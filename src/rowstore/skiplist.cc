@@ -57,9 +57,12 @@ int SkipList::RandomHeight() {
   return height;
 }
 
-SkipList::Node* SkipList::FindGreaterOrEqual(Slice key, Node** prev) const {
+SkipList::Node* SkipList::FindGreaterOrEqual(Slice key, Node** prev,
+                                             int* search_height) const {
   Node* x = head_;
-  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  int start = max_height_.load(std::memory_order_relaxed);
+  if (search_height != nullptr) *search_height = start;
+  int level = start - 1;
   for (;;) {
     Node* next = x->Next(level);
     if (next != nullptr && Slice(next->key).Compare(key) < 0) {
@@ -75,16 +78,19 @@ SkipList::Node* SkipList::FindGreaterOrEqual(Slice key, Node** prev) const {
 SkipList::Node* SkipList::GetOrInsert(Slice key, bool* created) {
   Node* prev[kMaxHeight];
   for (;;) {
-    Node* found = FindGreaterOrEqual(key, prev);
+    int searched = 0;
+    Node* found = FindGreaterOrEqual(key, prev, &searched);
     if (found != nullptr && Slice(found->key) == key) {
       *created = false;
       return found;
     }
-    // Fill prev for levels above the current max height.
+    // Fill prev for levels the search did not cover. This must use the
+    // height the search actually ran with, not a fresh max_height_ read: a
+    // concurrent insert can bump max_height_ between the search and here,
+    // which would leave prev[] entries in that gap uninitialized.
     int height = RandomHeight();
-    int max_h = max_height_.load(std::memory_order_relaxed);
-    if (height > max_h) {
-      for (int i = max_h; i < height; ++i) prev[i] = head_;
+    for (int i = searched; i < height; ++i) prev[i] = head_;
+    if (height > max_height_.load(std::memory_order_relaxed)) {
       // Racy max bump is fine: a stale small value only costs search time.
       max_height_.store(height, std::memory_order_relaxed);
     }

@@ -117,8 +117,12 @@ class SkipList {
   int RandomHeight();
 
   /// Finds the node >= key, filling prev[] with the rightmost node strictly
-  /// before key at every level.
-  Node* FindGreaterOrEqual(Slice key, Node** prev) const;
+  /// before key at every level below the search height. `search_height`
+  /// (when non-null) reports the max_height_ value the search used, i.e.
+  /// how many prev[] levels were filled — a concurrent insert may bump
+  /// max_height_ mid-search, so callers must not re-read it instead.
+  Node* FindGreaterOrEqual(Slice key, Node** prev,
+                           int* search_height = nullptr) const;
 
   Node* head_;
   std::atomic<int> max_height_{1};

@@ -26,6 +26,7 @@ Status Partition::Init() {
   file_options.local_dir = options_.dir + "/files";
   file_options.local_cache_bytes = options_.cache_bytes;
   file_options.background_uploads = options_.background_uploads;
+  file_options.executor = options_.executor;
   files_ = std::make_unique<DataFileStore>(options_.blob, file_options);
 
   return Recover();
@@ -100,11 +101,7 @@ Status Partition::Commit(TxnId txn) {
         if (table->NeedsFlush()) to_flush.push_back(table.get());
       }
     }
-    for (UnifiedTable* table : to_flush) {
-      (void)table->FlushRowstore();
-      (void)table->MaybeMergeRuns();
-      table->Vacuum(txns_.oldest_active());
-    }
+    (void)MaintainTables(to_flush, /*best_effort=*/true);
   }
   return Status::OK();
 }
@@ -126,12 +123,34 @@ Status Partition::Maintain() {
     std::lock_guard<std::mutex> lock(tables_mu_);
     for (auto& [name, table] : tables_) tables.push_back(table.get());
   }
-  for (UnifiedTable* table : tables) {
-    S2_RETURN_NOT_OK(table->FlushRowstore().status());
-    S2_RETURN_NOT_OK(table->MaybeMergeRuns().status());
-    table->Vacuum(txns_.oldest_active());
-  }
+  S2_RETURN_NOT_OK(MaintainTables(tables, /*best_effort=*/false));
   if (options_.blob != nullptr) return UploadToBlob();
+  return Status::OK();
+}
+
+Status Partition::MaintainTables(const std::vector<UnifiedTable*>& tables,
+                                 bool best_effort) {
+  auto maintain_one = [this, best_effort](UnifiedTable* table) -> Status {
+    if (best_effort) {
+      (void)table->FlushRowstore();
+      (void)table->MaybeMergeRuns();
+    } else {
+      S2_RETURN_NOT_OK(table->FlushRowstore().status());
+      S2_RETURN_NOT_OK(table->MaybeMergeRuns().status());
+    }
+    table->Vacuum(txns_.oldest_active());
+    return Status::OK();
+  };
+  Executor* ex = options_.executor;
+  if (ex != nullptr && ex->num_threads() > 1 && tables.size() > 1) {
+    // Tables are independent (each flush/merge serializes internally on
+    // the table's own maintenance mutex; log appends serialize in the
+    // log), so their maintenance can proceed concurrently.
+    return ex->ParallelFor(tables.size(), [&](size_t i) {
+      return maintain_one(tables[i]);
+    });
+  }
+  for (UnifiedTable* table : tables) S2_RETURN_NOT_OK(maintain_one(table));
   return Status::OK();
 }
 

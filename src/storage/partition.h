@@ -9,6 +9,7 @@
 
 #include "blob/blob_store.h"
 #include "blob/data_file_store.h"
+#include "common/executor.h"
 #include "log/partition_log.h"
 #include "log/snapshot.h"
 #include "storage/unified_table.h"
@@ -40,6 +41,10 @@ struct PartitionOptions {
   /// to the blobstore harming write latency"); the CDW baseline uses it.
   bool sync_blob_commit = false;
   size_t log_page_size = 64 * 1024;
+  /// Shared executor for background uploads and parallel maintenance. Not
+  /// owned; must outlive the partition. Null = Executor::Default() for
+  /// uploads and serial maintenance.
+  Executor* executor = nullptr;
 };
 
 /// One database partition: the unit of durability and replication (paper
@@ -100,6 +105,11 @@ class Partition {
 
  private:
   Status Recover();
+  /// Flush/merge/vacuum the given tables; runs them as parallel executor
+  /// tasks when an executor with >1 thread is configured. `best_effort`
+  /// ignores flush/merge errors (the post-commit auto-maintain path).
+  Status MaintainTables(const std::vector<UnifiedTable*>& tables,
+                        bool best_effort);
   Status ApplyCommittedTxn(
       TxnId logged_txn,
       const std::vector<std::pair<LogRecordType, std::string>>& ops);

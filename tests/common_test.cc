@@ -3,9 +3,11 @@
 #include <atomic>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/bitvector.h"
 #include "common/coding.h"
+#include "common/executor.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -203,6 +205,138 @@ TEST(ThreadPoolTest, RejectsAfterShutdown) {
   ThreadPool pool(2);
   pool.Shutdown();
   EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+    }
+    pool.Shutdown();  // every task accepted before Shutdown still runs
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleCoversTasksThatEnqueueMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  // A chain: each task enqueues the next; WaitIdle must not return while
+  // any link is still queued or running.
+  std::function<void(int)> chain = [&](int depth) {
+    count.fetch_add(1);
+    if (depth > 0) pool.Submit([&chain, depth] { chain(depth - 1); });
+  };
+  ASSERT_TRUE(pool.Submit([&chain] { chain(20); }));
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 21);
+}
+
+TEST(ThreadPoolTest, TryRunOneStealsQueuedWork) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  // Occupy the single worker so further tasks stay queued.
+  ASSERT_TRUE(pool.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // Wait until the worker owns the blocker, so TryRunOne below can only
+  // pick up the second task.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  while (!pool.TryRunOne()) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);  // the caller executed the queued task
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_FALSE(pool.TryRunOne());  // empty queue: nothing to steal
+}
+
+TEST(ExecutorTest, ParallelForEmptyRange) {
+  Executor exec(4);
+  int calls = 0;
+  EXPECT_TRUE(exec.ParallelFor(0, [&](size_t) {
+    ++calls;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ExecutorTest, ParallelForVisitsEveryIndexOnce) {
+  Executor exec(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ASSERT_TRUE(exec.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  }).ok());
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ExecutorTest, ParallelForPropagatesFirstErrorAndCancels) {
+  Executor exec(4);
+  CancelToken cancel;
+  std::atomic<int> after_error{0};
+  Status s = exec.ParallelFor(
+      1000,
+      [&](size_t i) -> Status {
+        if (i == 3) return Status::Internal("boom");
+        if (cancel.cancelled()) after_error.fetch_add(1);
+        return Status::OK();
+      },
+      &cancel);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_TRUE(cancel.cancelled());  // error trips the token for siblings
+}
+
+TEST(ExecutorTest, ParallelForPreCancelledAborts) {
+  Executor exec(2);
+  CancelToken cancel;
+  cancel.Cancel();
+  int calls = 0;
+  Status s = exec.ParallelFor(
+      10,
+      [&](size_t) {
+        ++calls;
+        return Status::OK();
+      },
+      &cancel);
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ExecutorTest, NestedParallelForDoesNotDeadlock) {
+  // A 2-thread pool with nested loops: without caller participation and
+  // work-stealing waits, the outer iterations would occupy every worker
+  // and the inner loops' helper tasks could never run.
+  Executor exec(2);
+  std::atomic<int> total{0};
+  ASSERT_TRUE(exec.ParallelFor(8, [&](size_t) {
+    return exec.ParallelFor(8, [&](size_t) {
+      total.fetch_add(1);
+      return Status::OK();
+    });
+  }).ok());
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ExecutorTest, SubmitWithResultDeliversValue) {
+  Executor exec(2);
+  auto fut = exec.SubmitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ExecutorTest, SerialExecutorStillRunsLoops) {
+  Executor exec(1);
+  std::atomic<int> count{0};
+  ASSERT_TRUE(exec.ParallelFor(100, [&](size_t) {
+    count.fetch_add(1);
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(ValueTest, CompareOrdering) {

@@ -1,0 +1,177 @@
+// Parallel execution layer: scatter-gather queries, parallel segment
+// scans, and background maintenance all share one Executor. These tests
+// check the two properties the refactor must preserve:
+//   1) determinism: a parallel scatter query returns byte-identical rows,
+//      in the same order, as the serial execution of the same query;
+//   2) safety: scatter queries racing writers and Maintain() never fail,
+//      corrupt data, or deadlock (exercised under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "engine/database.h"
+#include "exec/filter.h"
+#include "query/plan.h"
+
+namespace s2 {
+namespace {
+
+TableOptions ItemsTable() {
+  TableOptions opts;
+  opts.schema = Schema({{"id", DataType::kInt64},
+                        {"cat", DataType::kString},
+                        {"score", DataType::kDouble}});
+  opts.indexes = {{0}};
+  opts.unique_key = {0};
+  // Small segments so a modest dataset spreads over many morsels.
+  opts.segment_rows = 64;
+  opts.flush_threshold = 64;
+  return opts;
+}
+
+Row ItemRow(int64_t i) {
+  return {Value(i), Value("cat" + std::to_string(i % 7)),
+          Value(static_cast<double>(i) * 0.5)};
+}
+
+std::string EncodeRows(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& row : rows) out += EncodeKey(row);
+  return out;
+}
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("s2-parallel-exec");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursive(dir_); }
+
+  std::unique_ptr<Database> OpenDb(const std::string& subdir,
+                                   size_t exec_threads) {
+    DatabaseOptions opts;
+    opts.dir = dir_ + "/" + subdir;
+    opts.num_partitions = 4;
+    opts.num_exec_threads = exec_threads;
+    auto db = Database::Open(opts);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    if (!db.ok()) return nullptr;
+    EXPECT_TRUE((*db)->CreateTable("items", ItemsTable(), {0}).ok());
+    return std::move(*db);
+  }
+
+  static PlanPtr ScanPlan() {
+    // Filter + projection so the parallel scan exercises zone maps,
+    // filters and the ordered batch sequencer, not just a row copy.
+    return std::make_unique<ScanOp>(
+        "items", std::vector<int>{0, 1, 2},
+        FilterBetween(0, Value(int64_t{100}), Value(int64_t{1800})));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ParallelExecTest, ParallelScatterMatchesSerialByteForByte) {
+  auto serial = OpenDb("serial", 1);
+  auto parallel = OpenDb("parallel", 4);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(parallel, nullptr);
+
+  // Identical insert/maintain sequences produce identical physical layout
+  // (same segments on the same partitions), so the comparison checks pure
+  // execution-order determinism.
+  std::vector<Row> batch;
+  for (int64_t i = 0; i < 2000; ++i) {
+    batch.push_back(ItemRow(i));
+    if (batch.size() == 100) {
+      ASSERT_TRUE(serial->Insert("items", batch).ok());
+      ASSERT_TRUE(parallel->Insert("items", batch).ok());
+      batch.clear();
+    }
+  }
+  ASSERT_TRUE(serial->Maintain().ok());
+  ASSERT_TRUE(parallel->Maintain().ok());
+  // A rowstore tail on top of the flushed segments.
+  for (int64_t i = 2000; i < 2030; ++i) {
+    ASSERT_TRUE(serial->Insert("items", {ItemRow(i)}).ok());
+    ASSERT_TRUE(parallel->Insert("items", {ItemRow(i)}).ok());
+  }
+
+  auto serial_rows = serial->Query(ScanPlan);
+  auto parallel_rows = parallel->Query(ScanPlan);
+  ASSERT_TRUE(serial_rows.ok()) << serial_rows.status().ToString();
+  ASSERT_TRUE(parallel_rows.ok()) << parallel_rows.status().ToString();
+  EXPECT_EQ(serial_rows->size(), 1701u);
+  ASSERT_EQ(serial_rows->size(), parallel_rows->size());
+  EXPECT_EQ(EncodeRows(*serial_rows), EncodeRows(*parallel_rows));
+}
+
+TEST_F(ParallelExecTest, ConcurrentScatterWritersAndMaintain) {
+  auto db = OpenDb("stress", 4);
+  ASSERT_NE(db, nullptr);
+
+  constexpr int kWriters = 2;
+  constexpr int kRowsPerWriter = 600;
+  constexpr int kReaders = 2;
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      // Disjoint key ranges: writers never conflict on the unique key.
+      for (int64_t i = 0; i < kRowsPerWriter; ++i) {
+        int64_t id = static_cast<int64_t>(w) * kRowsPerWriter + i;
+        if (!db->Insert("items", {ItemRow(id)}).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      size_t last = 0;
+      while (!writers_done.load()) {
+        auto rows = db->Query([] {
+          return std::make_unique<ScanOp>("items", std::vector<int>{0});
+        });
+        if (!rows.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        // Snapshot reads: committed rows never disappear.
+        if (rows->size() < last) failures.fetch_add(1);
+        last = rows->size();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!writers_done.load()) {
+      if (!db->Maintain().ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(db->Maintain().ok());
+  auto rows = db->Query([] {
+    return std::make_unique<ScanOp>("items", std::vector<int>{0});
+  });
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), static_cast<size_t>(kWriters) * kRowsPerWriter);
+}
+
+}  // namespace
+}  // namespace s2

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs
+# them. Scope is limited to the tests that exercise the shared executor
+# (parallel scatter queries, morsel scans, maintenance, uploads) so the
+# TSan build stays fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build build-tsan -j"$(nproc)" \
+  --target common_test blob_test parallel_exec_test cluster_test
+
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+for t in common_test blob_test parallel_exec_test cluster_test; do
+  echo "=== tsan: $t ==="
+  "./build-tsan/tests/$t"
+done
+echo "tsan: all clean"
