@@ -24,10 +24,40 @@ Status MemBlobStore::CheckAvailable() const {
   return Status::OK();
 }
 
+bool MemBlobStore::ConsumeScript(std::deque<bool>* schedule) {
+  if (schedule->empty()) return false;
+  bool fail = schedule->front();
+  schedule->pop_front();
+  return fail;
+}
+
+void MemBlobStore::ScriptPutFailures(std::vector<bool> schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  put_failures_.assign(schedule.begin(), schedule.end());
+}
+
+void MemBlobStore::FailNextPuts(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  put_failures_.assign(n, true);
+}
+
+void MemBlobStore::ScriptGetFailures(std::vector<bool> schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  get_failures_.assign(schedule.begin(), schedule.end());
+}
+
+void MemBlobStore::FailNextGets(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  get_failures_.assign(n, true);
+}
+
 Status MemBlobStore::Put(const std::string& key, const std::string& data) {
   S2_RETURN_NOT_OK(CheckAvailable());
   MaybeSleepUs(put_latency_us_.load());
   std::lock_guard<std::mutex> lock(mu_);
+  if (ConsumeScript(&put_failures_)) {
+    return Status::Unavailable("blob put failure (scripted): " + key);
+  }
   objects_[key] = data;
   stats_.puts.fetch_add(1);
   stats_.bytes_uploaded.fetch_add(data.size());
@@ -38,6 +68,9 @@ Result<std::string> MemBlobStore::Get(const std::string& key) {
   S2_RETURN_NOT_OK(CheckAvailable());
   MaybeSleepUs(get_latency_us_.load());
   std::lock_guard<std::mutex> lock(mu_);
+  if (ConsumeScript(&get_failures_)) {
+    return Status::Unavailable("blob get failure (scripted): " + key);
+  }
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no blob object " + key);
   stats_.gets.fetch_add(1);
@@ -74,9 +107,9 @@ bool MemBlobStore::Exists(const std::string& key) {
 
 // --- LocalDirBlobStore ---
 
-LocalDirBlobStore::LocalDirBlobStore(std::string root)
-    : root_(std::move(root)) {
-  (void)CreateDirs(root_);
+LocalDirBlobStore::LocalDirBlobStore(std::string root, Env* env)
+    : root_(std::move(root)), env_(env != nullptr ? env : Env::Default()) {
+  (void)env_->CreateDirs(root_);
 }
 
 std::string LocalDirBlobStore::PathFor(const std::string& key) const {
@@ -88,8 +121,8 @@ Status LocalDirBlobStore::Put(const std::string& key,
                               const std::string& data) {
   std::string path = PathFor(key);
   auto slash = path.find_last_of('/');
-  S2_RETURN_NOT_OK(CreateDirs(path.substr(0, slash)));
-  S2_RETURN_NOT_OK(WriteFileAtomic(path, data));
+  S2_RETURN_NOT_OK(env_->CreateDirs(path.substr(0, slash)));
+  S2_RETURN_NOT_OK(env_->WriteFileAtomic(path, data));
   stats_.puts.fetch_add(1);
   stats_.bytes_uploaded.fetch_add(data.size());
   return Status::OK();
@@ -97,8 +130,8 @@ Status LocalDirBlobStore::Put(const std::string& key,
 
 Result<std::string> LocalDirBlobStore::Get(const std::string& key) {
   std::string path = PathFor(key);
-  if (!FileExists(path)) return Status::NotFound("no blob object " + key);
-  S2_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (!env_->FileExists(path)) return Status::NotFound("no blob object " + key);
+  S2_ASSIGN_OR_RETURN(std::string data, env_->ReadFileToString(path));
   stats_.gets.fetch_add(1);
   stats_.bytes_downloaded.fetch_add(data.size());
   return data;
@@ -106,7 +139,7 @@ Result<std::string> LocalDirBlobStore::Get(const std::string& key) {
 
 Status LocalDirBlobStore::Delete(const std::string& key) {
   stats_.deletes.fetch_add(1);
-  return RemoveFile(PathFor(key));
+  return env_->RemoveFile(PathFor(key));
 }
 
 Result<std::vector<std::string>> LocalDirBlobStore::List(
@@ -125,7 +158,7 @@ Result<std::vector<std::string>> LocalDirBlobStore::List(
 }
 
 bool LocalDirBlobStore::Exists(const std::string& key) {
-  return FileExists(PathFor(key));
+  return env_->FileExists(PathFor(key));
 }
 
 }  // namespace s2

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,8 @@
 #include "common/result.h"
 
 namespace s2 {
+
+class Env;
 
 /// Counters every BlobStore maintains. Benchmarks read these to show the
 /// commit path performs zero blob writes (paper Section 3.1).
@@ -64,11 +67,25 @@ class MemBlobStore : public BlobStore {
   void set_put_latency_us(uint64_t us) { put_latency_us_ = us; }
   void set_get_latency_us(uint64_t us) { get_latency_us_ = us; }
 
+  /// Scripted error schedule: the i-th upcoming Put fails iff schedule[i]
+  /// is true. Once the schedule is exhausted Puts succeed again. Replaces
+  /// any previous Put schedule.
+  void ScriptPutFailures(std::vector<bool> schedule);
+  /// Convenience: fail the next `n` Puts, then succeed.
+  void FailNextPuts(size_t n);
+  /// Same, for Get.
+  void ScriptGetFailures(std::vector<bool> schedule);
+  void FailNextGets(size_t n);
+
  private:
   Status CheckAvailable() const;
+  /// Pops the front of `schedule`; true means this call must fail.
+  static bool ConsumeScript(std::deque<bool>* schedule);
 
   mutable std::mutex mu_;
   std::map<std::string, std::string> objects_;
+  std::deque<bool> put_failures_;
+  std::deque<bool> get_failures_;
   std::atomic<bool> available_{true};
   std::atomic<uint64_t> put_latency_us_{0};
   std::atomic<uint64_t> get_latency_us_{0};
@@ -78,7 +95,8 @@ class MemBlobStore : public BlobStore {
 /// root; used by examples so blob contents are inspectable on disk.
 class LocalDirBlobStore : public BlobStore {
  public:
-  explicit LocalDirBlobStore(std::string root);
+  /// `env` null means Env::Default(); tests pass a FaultInjectionEnv.
+  explicit LocalDirBlobStore(std::string root, Env* env = nullptr);
 
   Status Put(const std::string& key, const std::string& data) override;
   Result<std::string> Get(const std::string& key) override;
@@ -89,6 +107,7 @@ class LocalDirBlobStore : public BlobStore {
  private:
   std::string PathFor(const std::string& key) const;
   std::string root_;
+  Env* env_;
 };
 
 }  // namespace s2

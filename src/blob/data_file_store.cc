@@ -8,7 +8,8 @@ namespace s2 {
 
 DataFileStore::DataFileStore(BlobStore* blob, DataFileStoreOptions options)
     : blob_(blob), options_(std::move(options)) {
-  if (!options_.local_dir.empty()) (void)CreateDirs(options_.local_dir);
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  if (!options_.local_dir.empty()) (void)env_->CreateDirs(options_.local_dir);
   if (blob_ != nullptr && options_.background_uploads) {
     exec_ = options_.executor != nullptr ? options_.executor
                                          : Executor::Default();
@@ -84,7 +85,7 @@ Status DataFileStore::Write(const std::string& name,
   if (!options_.local_dir.empty()) {
     // Persist to local disk so a process restart recovers the file without
     // the blob store (the paper's local-storage tier).
-    Status s = WriteFileAtomic(options_.local_dir + "/" + name, *data);
+    Status s = env_->WriteFileAtomic(options_.local_dir + "/" + name, *data);
     if (!s.ok()) {
       if (inserted) files_.erase(it);
       return s;
@@ -123,8 +124,8 @@ Result<std::shared_ptr<const std::string>> DataFileStore::Read(
   bool have_bytes = false;
   if (!options_.local_dir.empty()) {
     std::string path = options_.local_dir + "/" + name;
-    if (FileExists(path)) {
-      auto local = ReadFileToString(path);
+    if (env_->FileExists(path)) {
+      auto local = env_->ReadFileToString(path);
       if (local.ok()) {
         bytes = std::move(*local);
         have_bytes = true;
@@ -164,7 +165,7 @@ bool DataFileStore::IsLocal(const std::string& name) const {
     if (it != files_.end() && it->second.data != nullptr) return true;
   }
   return !options_.local_dir.empty() &&
-         FileExists(options_.local_dir + "/" + name);
+         env_->FileExists(options_.local_dir + "/" + name);
 }
 
 Status DataFileStore::Remove(const std::string& name) {
@@ -178,7 +179,7 @@ Status DataFileStore::Remove(const std::string& name) {
   files_.erase(it);
   if (!options_.local_dir.empty()) {
     std::string path = options_.local_dir + "/" + name;
-    if (FileExists(path)) (void)RemoveFile(path);
+    if (env_->FileExists(path)) (void)env_->RemoveFile(path);
   }
   // Blob object intentionally retained: history for PITR.
   return Status::OK();
@@ -295,7 +296,7 @@ void DataFileStore::EvictColdLocked() {
       // Cold + uploaded: drop the local-disk copy too; it can always be
       // re-fetched from blob storage.
       std::string path = options_.local_dir + "/" + fit->first;
-      if (FileExists(path)) (void)RemoveFile(path);
+      if (env_->FileExists(path)) (void)env_->RemoveFile(path);
     }
     stats_.files_evicted.fetch_add(1);
     it = lru_.erase(it);

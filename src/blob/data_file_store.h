@@ -36,6 +36,9 @@ struct DataFileStoreOptions {
   /// Shared executor for background upload work. Not owned; must outlive
   /// the store. Null = Executor::Default().
   Executor* executor = nullptr;
+  /// Filesystem for the local tier. Not owned; null = Env::Default().
+  /// Tests inject a FaultInjectionEnv to fail segment-file writes.
+  Env* env = nullptr;
 };
 
 struct DataFileStats {
@@ -147,6 +150,7 @@ class DataFileStore {
   DataFileStoreOptions options_;
   DataFileStats stats_;
   Executor* exec_ = nullptr;  // non-null iff background uploads are on
+  Env* env_ = nullptr;        // resolved from options_.env in the ctor
 
   mutable std::mutex mu_;
   std::condition_variable drain_cv_;

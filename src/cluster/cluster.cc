@@ -30,6 +30,7 @@ Status Cluster::Start() {
     popts.background_uploads = options_.background_uploads;
     popts.sync_blob_commit = options_.sync_blob_commit;
     popts.executor = executor_.get();
+    popts.env = options_.env;
     site.master = std::make_unique<Partition>(popts);
     S2_RETURN_NOT_OK(site.master->Init());
     masters_[p] = site.master.get();
@@ -66,6 +67,7 @@ Status Cluster::ProvisionReplica(int partition_id, int node_id) {
   ropts.blob = options_.blob;
   ropts.blob_prefix = PartitionPrefix(partition_id);
   ropts.ack_commits = true;
+  ropts.env = options_.env;
   auto replica = std::make_unique<ReplicaPartition>(ropts);
   S2_RETURN_NOT_OK(replica->Init());
   S2_RETURN_NOT_OK(WireReplica(partition_id, replica.get()));
@@ -348,6 +350,7 @@ Result<int> Cluster::CreateWorkspace() {
     ropts.blob = options_.blob;
     ropts.blob_prefix = PartitionPrefix(p);
     ropts.ack_commits = false;  // workspaces never gate commits
+    ropts.env = options_.env;
     auto replica = std::make_unique<ReplicaPartition>(ropts);
     S2_RETURN_NOT_OK(replica->Init());
     // With a blob store the replica bootstrapped its data files from blob;
@@ -399,7 +402,8 @@ Result<std::unique_ptr<Partition>> Cluster::RestorePartitionToLsn(
     return Status::InvalidArgument("PITR requires a blob store");
   }
   return RestorePartitionFromBlob(options_.blob,
-                                  PartitionPrefix(partition_id), dir, lsn);
+                                  PartitionPrefix(partition_id), dir, lsn,
+                                  options_.env);
 }
 
 Status Cluster::Maintain() {

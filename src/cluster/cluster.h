@@ -36,6 +36,9 @@ struct ClusterOptions {
   /// fan-out, parallel segment scans, maintenance and background uploads.
   /// 0 = hardware concurrency; 1 = fully serial execution.
   size_t num_exec_threads = 0;
+  /// Filesystem for every partition's and replica's local state. Not
+  /// owned; null = Env::Default().
+  Env* env = nullptr;
 };
 
 /// An in-process simulated S2DB cluster: an aggregator (this object)

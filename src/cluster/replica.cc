@@ -15,8 +15,9 @@ namespace {
 /// from blob storage into `dir`, ready for Partition::Init recovery.
 /// Returns the end position of the materialized log.
 Result<Lsn> BootstrapFromBlob(BlobStore* blob, const std::string& blob_prefix,
-                              const std::string& dir, Lsn to_lsn) {
-  S2_RETURN_NOT_OK(CreateDirs(dir));
+                              const std::string& dir, Lsn to_lsn, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  S2_RETURN_NOT_OK(env->CreateDirs(dir));
   Lsn limit = to_lsn == 0 ? ~Lsn{0} : to_lsn;
 
   // Snapshots.
@@ -34,7 +35,7 @@ Result<Lsn> BootstrapFromBlob(BlobStore* blob, const std::string& blob_prefix,
   }
   if (!best_key.empty()) {
     S2_ASSIGN_OR_RETURN(std::string payload, blob->Get(best_key));
-    SnapshotStore snapshots(dir + "/snapshots");
+    SnapshotStore snapshots(dir + "/snapshots", env);
     S2_RETURN_NOT_OK(snapshots.Write(best_snap, payload));
   }
 
@@ -59,7 +60,7 @@ Result<Lsn> BootstrapFromBlob(BlobStore* blob, const std::string& blob_prefix,
     end = rest.first;
   }
   if (!log_bytes.empty()) {
-    S2_RETURN_NOT_OK(WriteFileAtomic(dir + "/log", log_bytes));
+    S2_RETURN_NOT_OK(env->WriteFileAtomic(dir + "/log", log_bytes));
   }
   return end;
 }
@@ -95,7 +96,8 @@ Status ReplicaPartition::Init() {
     // Section 3.1).
     S2_ASSIGN_OR_RETURN(Lsn end,
                         BootstrapFromBlob(options_.blob, options_.blob_prefix,
-                                          options_.dir, /*to_lsn=*/0));
+                                          options_.dir, /*to_lsn=*/0,
+                                          options_.env));
     stream_base_ = end;
     applied_ = end;
   }
@@ -105,6 +107,7 @@ Status ReplicaPartition::Init() {
   popts.blob_prefix = options_.blob_prefix;
   popts.background_uploads = false;  // replicas never upload
   popts.auto_maintain = false;       // maintenance replicates from master
+  popts.env = options_.env;
   partition_ = std::make_unique<Partition>(popts);
   S2_RETURN_NOT_OK(partition_->Init());
   if (!options_.ack_commits) {
@@ -203,14 +206,17 @@ Result<Partition*> ReplicaPartition::Promote() {
   // master recovers the full replicated prefix, then accepts new writes.
   size_t complete = PartitionLog::CompletePagePrefix(
       Slice(stream_.data(), stream_.size()));
-  S2_RETURN_NOT_OK(AppendToFile(options_.dir + "/log",
-                                stream_.substr(0, complete)));
+  Env* env = options_.env != nullptr ? options_.env : Env::Default();
+  S2_RETURN_NOT_OK(env->AppendToFile(options_.dir + "/log",
+                                     stream_.substr(0, complete),
+                                     /*sync=*/false));
   partition_.reset();
   PartitionOptions popts;
   popts.dir = options_.dir;
   popts.blob = options_.blob;
   popts.blob_prefix = options_.blob_prefix;
   popts.background_uploads = false;
+  popts.env = options_.env;
   partition_ = std::make_unique<Partition>(popts);
   S2_RETURN_NOT_OK(partition_->Init());
   return partition_.get();
@@ -218,14 +224,16 @@ Result<Partition*> ReplicaPartition::Promote() {
 
 Result<std::unique_ptr<Partition>> RestorePartitionFromBlob(
     BlobStore* blob, const std::string& blob_prefix, const std::string& dir,
-    Lsn to_lsn) {
-  S2_RETURN_NOT_OK(BootstrapFromBlob(blob, blob_prefix, dir, to_lsn).status());
+    Lsn to_lsn, Env* env) {
+  S2_RETURN_NOT_OK(
+      BootstrapFromBlob(blob, blob_prefix, dir, to_lsn, env).status());
   PartitionOptions popts;
   popts.dir = dir;
   popts.blob = blob;
   popts.blob_prefix = blob_prefix;
   popts.background_uploads = false;
   popts.recover_to_lsn = to_lsn;
+  popts.env = env;
   auto partition = std::make_unique<Partition>(popts);
   S2_RETURN_NOT_OK(partition->Init());
   return partition;

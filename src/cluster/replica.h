@@ -19,6 +19,9 @@ struct ReplicaOptions {
   std::string dir;
   BlobStore* blob = nullptr;
   std::string blob_prefix;  // master partition's blob prefix
+  /// Filesystem for the replica's local state. Not owned; null =
+  /// Env::Default().
+  Env* env = nullptr;
   /// True for HA replicas: OnPage returns true once the page is held in
   /// memory, which is what lets the master count it toward commit
   /// durability. False for read-only workspaces, which replicate
@@ -103,7 +106,7 @@ class ReplicaPartition : public ReplicationSink {
 /// path: no explicit backups, just the blob history (paper Section 3.2).
 Result<std::unique_ptr<Partition>> RestorePartitionFromBlob(
     BlobStore* blob, const std::string& blob_prefix, const std::string& dir,
-    Lsn to_lsn);
+    Lsn to_lsn, Env* env = nullptr);
 
 }  // namespace s2
 

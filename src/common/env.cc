@@ -17,37 +17,20 @@ namespace s2 {
 namespace fs = std::filesystem;
 
 namespace {
+
 Status ErrnoStatus(const std::string& what) {
   return Status::IOError(what + ": " + strerror(errno));
 }
-}  // namespace
 
-Status CreateDirs(const std::string& path) {
-  std::error_code ec;
-  fs::create_directories(path, ec);
-  if (ec) return Status::IOError("create_directories " + path + ": " +
-                                 ec.message());
-  return Status::OK();
+std::string ParentDir(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& data) {
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("open " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) return Status::IOError("write " + tmp);
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
-  return Status::OK();
-}
-
-Status AppendToFile(const std::string& path, const std::string& data,
-                    bool sync) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) return ErrnoStatus("open " + path);
+Status WriteFd(int fd, const std::string& path, const std::string& data,
+               bool sync) {
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::write(fd, data.data() + off, data.size() - off);
@@ -66,7 +49,46 @@ Status AppendToFile(const std::string& path, const std::string& data,
   return Status::OK();
 }
 
-Result<std::string> ReadFileToString(const std::string& path) {
+}  // namespace
+
+Status Env::WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  // fsync the temp file before the rename: without it, power loss after the
+  // rename can expose an empty or partial target file.
+  S2_RETURN_NOT_OK(WriteStringToFile(tmp, data, /*sync=*/true));
+  S2_RETURN_NOT_OK(RenameFile(tmp, path));
+  // fsync the parent directory so the rename itself survives power loss.
+  return SyncDir(ParentDir(path));
+}
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status PosixEnv::CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("create_directories " + path + ": " +
+                                 ec.message());
+  return Status::OK();
+}
+
+Status PosixEnv::WriteStringToFile(const std::string& path,
+                                   const std::string& data, bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  return WriteFd(fd, path, data, sync);
+}
+
+Status PosixEnv::AppendToFile(const std::string& path, const std::string& data,
+                              bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  return WriteFd(fd, path, data, sync);
+}
+
+Result<std::string> PosixEnv::ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("open " + path);
   std::string data((std::istreambuf_iterator<char>(in)),
@@ -75,7 +97,7 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return data;
 }
 
-Result<std::vector<std::string>> ListDir(const std::string& dir) {
+Result<std::vector<std::string>> PosixEnv::ListDir(const std::string& dir) {
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
@@ -86,7 +108,7 @@ Result<std::vector<std::string>> ListDir(const std::string& dir) {
   return names;
 }
 
-Status RemoveFile(const std::string& path) {
+Status PosixEnv::RemoveFile(const std::string& path) {
   std::error_code ec;
   if (!fs::remove(path, ec) || ec) {
     return Status::IOError("remove " + path +
@@ -95,26 +117,55 @@ Status RemoveFile(const std::string& path) {
   return Status::OK();
 }
 
-Status RemoveDirRecursive(const std::string& path) {
+Status PosixEnv::RemoveDirRecursive(const std::string& path) {
   std::error_code ec;
   fs::remove_all(path, ec);
   if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
   return Status::OK();
 }
 
-bool FileExists(const std::string& path) {
+bool PosixEnv::FileExists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec);
 }
 
-Result<uint64_t> FileSize(const std::string& path) {
+Result<uint64_t> PosixEnv::FileSize(const std::string& path) {
   std::error_code ec;
   uint64_t size = fs::file_size(path, ec);
   if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
   return size;
 }
 
-Result<std::string> MakeTempDir(const std::string& prefix) {
+Status PosixEnv::Truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate " + path);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) return Status::IOError("rename " + from + ": " + ec.message());
+  return Status::OK();
+}
+
+Status PosixEnv::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open dir " + dir);
+  if (::fsync(fd) != 0) {
+    // Some filesystems refuse fsync on directories; that is not a data
+    // loss on those systems, so only real errors surface.
+    if (errno != EINVAL && errno != ENOTSUP) {
+      ::close(fd);
+      return ErrnoStatus("fsync dir " + dir);
+    }
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> PosixEnv::MakeTempDir(const std::string& prefix) {
   static std::atomic<uint64_t> counter{0};
   std::error_code ec;
   fs::path base = fs::temp_directory_path(ec);

@@ -8,35 +8,124 @@
 
 namespace s2 {
 
-// Thin filesystem helpers (std::filesystem wrapped in Status). All local
-// persistence — log files, snapshot files, segment data files, the blob
-// store's local-directory backend — goes through these.
+/// Filesystem abstraction behind every local-persistence path — log files,
+/// snapshot files, segment data files, the blob store's local-directory
+/// backend. Components take an `Env*` (null = Env::Default(), a PosixEnv)
+/// so tests can substitute a FaultInjectionEnv (common/fault_env.h) and
+/// exercise crash/IO-failure behavior deterministically.
+///
+/// The virtual methods are the primitive operations fault injection hooks;
+/// WriteFileAtomic is composed from them in the base class so a wrapper
+/// env intercepts each step (temp write, temp fsync, rename, directory
+/// fsync) individually.
+class Env {
+ public:
+  virtual ~Env() = default;
 
-/// Creates the directory and any missing parents.
-Status CreateDirs(const std::string& path);
+  /// Creates the directory and any missing parents.
+  virtual Status CreateDirs(const std::string& path) = 0;
 
-/// Writes `data` to `path` via a temp file + rename (atomic on POSIX).
-Status WriteFileAtomic(const std::string& path, const std::string& data);
+  /// Truncating write of the whole file. When `sync` is true the data is
+  /// fsync'd before returning.
+  virtual Status WriteStringToFile(const std::string& path,
+                                   const std::string& data, bool sync) = 0;
 
-/// Appends `data` to `path`, creating it if needed. When `sync` is true the
-/// write is fsync'd before returning.
-Status AppendToFile(const std::string& path, const std::string& data,
-                    bool sync = false);
+  /// Appends `data` to `path`, creating it if needed. When `sync` is true
+  /// the write is fsync'd before returning.
+  virtual Status AppendToFile(const std::string& path, const std::string& data,
+                              bool sync) = 0;
 
-/// Reads the whole file.
-Result<std::string> ReadFileToString(const std::string& path);
+  /// Reads the whole file.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
 
-/// Lists regular-file names (not paths) directly under `dir`, sorted.
-Result<std::vector<std::string>> ListDir(const std::string& dir);
+  /// Lists regular-file names (not paths) directly under `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
 
-Status RemoveFile(const std::string& path);
-Status RemoveDirRecursive(const std::string& path);
-bool FileExists(const std::string& path);
-Result<uint64_t> FileSize(const std::string& path);
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
 
-/// Creates a fresh unique directory under the system temp dir. Tests and
-/// examples use this for scratch space.
-Result<std::string> MakeTempDir(const std::string& prefix);
+  /// Truncates the file to `size` bytes (recovery drops torn log tails).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// fsyncs the directory itself so entries created/renamed within it
+  /// survive power loss.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Creates a fresh unique directory under the system temp dir. Tests and
+  /// examples use this for scratch space.
+  virtual Result<std::string> MakeTempDir(const std::string& prefix) = 0;
+
+  /// Crash-atomic full-file write: write `path + ".tmp"`, fsync it, rename
+  /// over `path`, then fsync the parent directory. After a crash at any
+  /// point the target holds either the old contents or the new contents,
+  /// never a prefix (the temp fsync orders data before the rename; the
+  /// directory fsync makes the rename itself durable).
+  Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+  /// Process-wide default environment (a PosixEnv singleton).
+  static Env* Default();
+};
+
+/// The real filesystem.
+class PosixEnv : public Env {
+ public:
+  Status CreateDirs(const std::string& path) override;
+  Status WriteStringToFile(const std::string& path, const std::string& data,
+                           bool sync) override;
+  Status AppendToFile(const std::string& path, const std::string& data,
+                      bool sync) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveDirRecursive(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::string> MakeTempDir(const std::string& prefix) override;
+};
+
+// Convenience wrappers over Env::Default() for call sites that don't need
+// injection (tests, examples, benchmarks).
+
+inline Status CreateDirs(const std::string& path) {
+  return Env::Default()->CreateDirs(path);
+}
+inline Status WriteFileAtomic(const std::string& path,
+                              const std::string& data) {
+  return Env::Default()->WriteFileAtomic(path, data);
+}
+inline Status AppendToFile(const std::string& path, const std::string& data,
+                           bool sync = false) {
+  return Env::Default()->AppendToFile(path, data, sync);
+}
+inline Result<std::string> ReadFileToString(const std::string& path) {
+  return Env::Default()->ReadFileToString(path);
+}
+inline Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  return Env::Default()->ListDir(dir);
+}
+inline Status RemoveFile(const std::string& path) {
+  return Env::Default()->RemoveFile(path);
+}
+inline Status RemoveDirRecursive(const std::string& path) {
+  return Env::Default()->RemoveDirRecursive(path);
+}
+inline bool FileExists(const std::string& path) {
+  return Env::Default()->FileExists(path);
+}
+inline Result<uint64_t> FileSize(const std::string& path) {
+  return Env::Default()->FileSize(path);
+}
+inline Result<std::string> MakeTempDir(const std::string& prefix) {
+  return Env::Default()->MakeTempDir(prefix);
+}
 
 }  // namespace s2
 

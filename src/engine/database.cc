@@ -19,6 +19,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   copts.sync_blob_commit =
       db->options_.profile == EngineProfile::kCloudWarehouse;
   copts.num_exec_threads = db->options_.num_exec_threads;
+  copts.env = db->options_.env;
   db->cluster_ = std::make_unique<Cluster>(copts);
   S2_RETURN_NOT_OK(db->cluster_->Start());
   return db;

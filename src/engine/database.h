@@ -42,6 +42,9 @@ struct DatabaseOptions {
   /// segment scans, maintenance, uploads). 0 = hardware concurrency;
   /// 1 = fully serial execution.
   size_t num_exec_threads = 0;
+  /// Filesystem for all local state. Not owned; null = Env::Default().
+  /// Crash tests inject a FaultInjectionEnv.
+  Env* env = nullptr;
 };
 
 /// The public façade: open a database, create tables, write rows, run

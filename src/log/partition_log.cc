@@ -1,7 +1,5 @@
 #include "log/partition_log.h"
 
-#include <unistd.h>
-
 #include <algorithm>
 
 #include "common/coding.h"
@@ -33,23 +31,23 @@ size_t ValidPrefix(Slice bytes) {
 }  // namespace
 
 PartitionLog::PartitionLog(const LogOptions& options)
-    : options_(options), path_(options.dir + "/log") {}
+    : options_(options),
+      path_(options.dir + "/log"),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 PartitionLog::~PartitionLog() = default;
 
 Result<std::unique_ptr<PartitionLog>> PartitionLog::Open(
     const LogOptions& options) {
-  S2_RETURN_NOT_OK(CreateDirs(options.dir));
   std::unique_ptr<PartitionLog> log(new PartitionLog(options));
-  if (FileExists(log->path_)) {
-    S2_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(log->path_));
+  Env* env = log->env_;
+  S2_RETURN_NOT_OK(env->CreateDirs(options.dir));
+  if (env->FileExists(log->path_)) {
+    S2_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(log->path_));
     size_t valid = ValidPrefix(bytes);
     if (valid < bytes.size()) {
       // Torn tail from a crash mid-append: drop it.
-      if (::truncate(log->path_.c_str(),
-                     static_cast<off_t>(valid)) != 0) {
-        return Status::IOError("truncate " + log->path_);
-      }
+      S2_RETURN_NOT_OK(env->Truncate(log->path_, valid));
     }
     log->sealed_end_ = valid;
     log->page_start_ = valid;
@@ -73,11 +71,22 @@ Lsn PartitionLog::Append(const LogRecord& record) {
 
 Status PartitionLog::Commit(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
+  size_t pre_marker_size = page_buf_.size();
   LogRecord rec;
   rec.txn_id = txn;
   rec.type = LogRecordType::kCommit;
   rec.EncodeTo(&page_buf_);
-  return SealPageLocked();
+  Status s = SealPageLocked();
+  if (!s.ok() && !page_buf_.empty()) {
+    // The local append failed, so the page (and its commit marker) never
+    // reached disk and page_buf_ was retained. Withdraw the marker: if the
+    // buffered records are flushed by a later seal they must replay as an
+    // uncommitted transaction, not silently commit one the caller was told
+    // failed. (On a replication-ack failure the page is already on disk and
+    // page_buf_ is empty, so this does not run.)
+    page_buf_.resize(pre_marker_size);
+  }
+  return s;
 }
 
 void PartitionLog::Abort(TxnId txn) {
@@ -114,7 +123,7 @@ Status PartitionLog::SealPageLocked() {
     page.append(page_buf_);
 
     Lsn page_lsn = page_start_;
-    S2_RETURN_NOT_OK(AppendToFile(path_, page, options_.sync_to_disk));
+    S2_RETURN_NOT_OK(env_->AppendToFile(path_, page, options_.sync_to_disk));
     sealed_end_ = page_start_ + page.size();
     page_start_ = sealed_end_;
     page_buf_.clear();
@@ -139,7 +148,7 @@ Status PartitionLog::AddSink(ReplicationSink* sink) {
   std::lock_guard<std::mutex> lock(mu_);
   // Catch the sink up with all sealed pages (they parse as a page stream).
   if (sealed_end_ > 0) {
-    S2_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path_));
+    S2_ASSIGN_OR_RETURN(std::string bytes, env_->ReadFileToString(path_));
     sink->OnPage(0, Slice(bytes.data(), sealed_end_));
   }
   sinks_.push_back(sink);
@@ -167,8 +176,8 @@ Status PartitionLog::Replay(
   std::string bytes;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!FileExists(path_)) return Status::OK();
-    S2_ASSIGN_OR_RETURN(bytes, ReadFileToString(path_));
+    if (!env_->FileExists(path_)) return Status::OK();
+    S2_ASSIGN_OR_RETURN(bytes, env_->ReadFileToString(path_));
     bytes.resize(std::min<size_t>(bytes.size(), sealed_end_));
   }
   return ParseStream(Slice(bytes), 0,
@@ -184,7 +193,7 @@ Result<std::string> PartitionLog::ReadRange(Lsn from, Lsn to) const {
   if (to > sealed_end_ || from > to) {
     return Status::InvalidArgument("log range outside sealed region");
   }
-  S2_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path_));
+  S2_ASSIGN_OR_RETURN(std::string bytes, env_->ReadFileToString(path_));
   return bytes.substr(from, to - from);
 }
 

@@ -12,6 +12,8 @@
 
 namespace s2 {
 
+class Env;
+
 /// Receives sealed log pages for replication. Implementations are HA
 /// replicas (cluster module) or read-only workspace streams. Pages may be
 /// delivered out of order relative to other pages ("log pages can be
@@ -36,6 +38,9 @@ struct LogOptions {
   /// cloud hosts lose local disks with the host, so S2DB relies on
   /// replication (not local fsync) for commit durability.
   bool sync_to_disk = false;
+  /// Filesystem the log lives on. Not owned; null = Env::Default(). Tests
+  /// inject a FaultInjectionEnv to fail/tear the append or drop the sync.
+  Env* env = nullptr;
 };
 
 /// The per-partition write-ahead log. The log is the only file ever
@@ -116,6 +121,7 @@ class PartitionLog {
 
   LogOptions options_;
   std::string path_;
+  Env* env_;  // resolved from options_.env at construction
 
   mutable std::mutex mu_;
   std::string page_buf_;     // open page payload

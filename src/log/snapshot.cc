@@ -10,7 +10,8 @@
 
 namespace s2 {
 
-SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+SnapshotStore::SnapshotStore(std::string dir, Env* env)
+    : dir_(std::move(dir)), env_(env != nullptr ? env : Env::Default()) {}
 
 std::string SnapshotStore::FileName(Lsn lsn) {
   char buf[32];
@@ -20,17 +21,22 @@ std::string SnapshotStore::FileName(Lsn lsn) {
 
 Result<Lsn> SnapshotStore::ParseFileName(const std::string& name) {
   uint64_t lsn = 0;
-  if (sscanf(name.c_str(), "snap_%020" SCNu64, &lsn) != 1) {
+  int consumed = 0;
+  // Anchor the match to the whole name: a stray "snap_<lsn>.tmp" left by a
+  // crashed atomic write must not parse as a snapshot (it has no CRC footer
+  // and would wedge recovery).
+  if (sscanf(name.c_str(), "snap_%020" SCNu64 "%n", &lsn, &consumed) != 1 ||
+      static_cast<size_t>(consumed) != name.size()) {
     return Status::InvalidArgument("not a snapshot file: " + name);
   }
   return lsn;
 }
 
 Status SnapshotStore::Write(Lsn lsn, const std::string& state) {
-  S2_RETURN_NOT_OK(CreateDirs(dir_));
+  S2_RETURN_NOT_OK(env_->CreateDirs(dir_));
   std::string data = state;
   PutFixed32(&data, Crc32(state.data(), state.size()));
-  return WriteFileAtomic(dir_ + "/" + FileName(lsn), data);
+  return env_->WriteFileAtomic(dir_ + "/" + FileName(lsn), data);
 }
 
 Result<std::pair<Lsn, std::string>> SnapshotStore::LatestAtOrBelow(
@@ -46,7 +52,7 @@ Result<std::pair<Lsn, std::string>> SnapshotStore::LatestAtOrBelow(
   }
   if (!found) return Status::NotFound("no snapshot at or below given lsn");
   S2_ASSIGN_OR_RETURN(std::string data,
-                      ReadFileToString(dir_ + "/" + FileName(best)));
+                      env_->ReadFileToString(dir_ + "/" + FileName(best)));
   if (data.size() < 4) return Status::Corruption("snapshot too small");
   uint32_t crc = DecodeFixed32(data.data() + data.size() - 4);
   data.resize(data.size() - 4);
@@ -58,8 +64,8 @@ Result<std::pair<Lsn, std::string>> SnapshotStore::LatestAtOrBelow(
 
 Result<std::vector<Lsn>> SnapshotStore::List() const {
   std::vector<Lsn> out;
-  if (!FileExists(dir_)) return out;
-  S2_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  if (!env_->FileExists(dir_)) return out;
+  S2_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
   for (const std::string& name : names) {
     auto lsn = ParseFileName(name);
     if (lsn.ok()) out.push_back(*lsn);
@@ -72,7 +78,7 @@ Status SnapshotStore::TrimBelow(Lsn lsn) {
   S2_ASSIGN_OR_RETURN(std::vector<Lsn> lsns, List());
   for (Lsn s : lsns) {
     if (s < lsn) {
-      S2_RETURN_NOT_OK(RemoveFile(dir_ + "/" + FileName(s)));
+      S2_RETURN_NOT_OK(env_->RemoveFile(dir_ + "/" + FileName(s)));
     }
   }
   return Status::OK();

@@ -9,6 +9,8 @@
 
 namespace s2 {
 
+class Env;
+
 /// Stores rowstore snapshot files keyed by the log position they capture.
 /// Recovery replays from the newest snapshot at or below the target LSN and
 /// then applies the log from there ("fetch and replay the data from the
@@ -19,7 +21,8 @@ namespace s2 {
 /// blob storage.
 class SnapshotStore {
  public:
-  explicit SnapshotStore(std::string dir);
+  /// `env` null means Env::Default(); tests pass a FaultInjectionEnv.
+  explicit SnapshotStore(std::string dir, Env* env = nullptr);
 
   /// Writes a snapshot of serialized state taken at `lsn`.
   Status Write(Lsn lsn, const std::string& state);
@@ -42,6 +45,7 @@ class SnapshotStore {
 
  private:
   std::string dir_;
+  Env* env_;
 };
 
 }  // namespace s2

@@ -9,16 +9,19 @@
 namespace s2 {
 
 Partition::Partition(PartitionOptions options)
-    : options_(std::move(options)), snapshots_(options_.dir + "/snapshots") {}
+    : options_(std::move(options)),
+      snapshots_(options_.dir + "/snapshots", options_.env) {}
 
 Partition::~Partition() = default;
 
 Status Partition::Init() {
-  S2_RETURN_NOT_OK(CreateDirs(options_.dir));
+  Env* env = options_.env != nullptr ? options_.env : Env::Default();
+  S2_RETURN_NOT_OK(env->CreateDirs(options_.dir));
   LogOptions log_options;
   log_options.dir = options_.dir;
   log_options.page_size = options_.log_page_size;
   log_options.sync_to_disk = options_.sync_to_disk;
+  log_options.env = options_.env;
   S2_ASSIGN_OR_RETURN(log_, PartitionLog::Open(log_options));
 
   DataFileStoreOptions file_options;
@@ -27,6 +30,7 @@ Status Partition::Init() {
   file_options.local_cache_bytes = options_.cache_bytes;
   file_options.background_uploads = options_.background_uploads;
   file_options.executor = options_.executor;
+  file_options.env = options_.env;
   files_ = std::make_unique<DataFileStore>(options_.blob, file_options);
 
   return Recover();

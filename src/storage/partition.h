@@ -45,6 +45,9 @@ struct PartitionOptions {
   /// owned; must outlive the partition. Null = Executor::Default() for
   /// uploads and serial maintenance.
   Executor* executor = nullptr;
+  /// Filesystem for the log, snapshots, and local data files. Not owned;
+  /// null = Env::Default(). Crash tests inject a FaultInjectionEnv.
+  Env* env = nullptr;
 };
 
 /// One database partition: the unit of durability and replication (paper

@@ -839,13 +839,28 @@ Result<size_t> UnifiedTable::FlushRowstore() {
     rows = std::move(sorted);
   }
 
+  // From here on any failure must abort the flush transaction: it holds
+  // row locks (via DeleteLatest) that would otherwise leak forever, making
+  // every later write to those rows time out.
+  auto abort_flush = [&](const Status& s) -> Status {
+    rowstore_->AbortTxn(h.id);
+    txns_->Abort(h.id);
+    return s;
+  };
   uint64_t segment_id = next_segment_id_.fetch_add(1);
   Lsn lsn = log_->next_lsn();
-  S2_ASSIGN_OR_RETURN(auto built, BuildSegment(rows, segment_id, lsn));
-  auto& [file_bytes, meta] = built;
+  auto built_or = BuildSegment(rows, segment_id, lsn);
+  if (!built_or.ok()) return abort_flush(built_or.status());
+  auto& [file_bytes, meta] = *built_or;
   auto file = std::make_shared<const std::string>(std::move(file_bytes));
-  S2_RETURN_NOT_OK(files_->Write(meta.file_name, file));
-  S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> opened, Segment::Open(file));
+  Status ws = files_->Write(meta.file_name, file);
+  if (!ws.ok()) return abort_flush(ws);
+  auto opened_or = Segment::Open(file);
+  if (!opened_or.ok()) {
+    (void)files_->Remove(meta.file_name);
+    return abort_flush(opened_or.status());
+  }
+  std::shared_ptr<Segment> opened = *opened_or;
 
   LogRecord rec;
   rec.txn_id = h.id;
@@ -914,15 +929,31 @@ Result<bool> UnifiedTable::MaybeMergeRuns() {
   Lsn lsn = log_->next_lsn();
   std::vector<SegmentMeta> new_metas;
   std::vector<std::shared_ptr<Segment>> new_opened;
+  // A failure while materializing the merged segments must abort the merge
+  // transaction (a leaked active txn pins vacuum/purge forever) and remove
+  // the files already written.
+  auto abort_merge = [&](const Status& s) -> Status {
+    txns_->Abort(h.id);
+    for (const SegmentMeta& meta : new_metas) {
+      (void)files_->Remove(meta.file_name);
+    }
+    return s;
+  };
   for (const std::vector<Row>& chunk : chunks) {
     uint64_t segment_id = next_segment_id_.fetch_add(1);
-    S2_ASSIGN_OR_RETURN(auto built, BuildSegment(chunk, segment_id, lsn));
-    auto& [file_bytes, meta] = built;
+    auto built_or = BuildSegment(chunk, segment_id, lsn);
+    if (!built_or.ok()) return abort_merge(built_or.status());
+    auto& [file_bytes, meta] = *built_or;
     auto file = std::make_shared<const std::string>(std::move(file_bytes));
-    S2_RETURN_NOT_OK(files_->Write(meta.file_name, file));
-    S2_ASSIGN_OR_RETURN(std::shared_ptr<Segment> opened, Segment::Open(file));
+    Status ws = files_->Write(meta.file_name, file);
+    if (!ws.ok()) return abort_merge(ws);
+    auto opened_or = Segment::Open(file);
+    if (!opened_or.ok()) {
+      (void)files_->Remove(meta.file_name);
+      return abort_merge(opened_or.status());
+    }
     new_metas.push_back(std::move(meta));
-    new_opened.push_back(std::move(opened));
+    new_opened.push_back(std::move(*opened_or));
   }
 
   {

@@ -173,6 +173,80 @@ TEST(DataFileStoreTest, WorksWithoutBlobStore) {
   EXPECT_TRUE(store.Read("missing").status().IsNotFound());
 }
 
+TEST(MemBlobStoreTest, ScriptedFailureSchedule) {
+  MemBlobStore blob;
+  blob.ScriptPutFailures({true, false, true});
+  EXPECT_TRUE(blob.Put("a", "1").IsUnavailable());
+  EXPECT_TRUE(blob.Put("b", "2").ok());
+  EXPECT_TRUE(blob.Put("c", "3").IsUnavailable());
+  EXPECT_TRUE(blob.Put("d", "4").ok());  // schedule exhausted: back to normal
+  EXPECT_FALSE(blob.Exists("a"));        // failed puts store nothing
+  EXPECT_TRUE(blob.Exists("b"));
+  EXPECT_EQ(blob.stats().puts.load(), 2u);  // only successes counted
+
+  blob.FailNextGets(1);
+  EXPECT_TRUE(blob.Get("b").status().IsUnavailable());
+  EXPECT_EQ(*blob.Get("b"), "2");
+}
+
+// The first N uploads fail on a script; every DrainUploads retry makes
+// progress and once the schedule is exhausted all files land in blob
+// storage — each uploaded exactly once, never dropped, never duplicated.
+TEST(DataFileStoreTest, ScriptedPutFailuresRetryUploadsExactlyOnce) {
+  MemBlobStore blob;
+  DataFileStore store(&blob, SyncOptions());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Write("f" + std::to_string(i), Bytes("data")).ok());
+  }
+  blob.FailNextPuts(3);
+  int failed_drains = 0;
+  Status s;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    s = store.DrainUploads();
+    if (s.ok()) break;
+    EXPECT_TRUE(s.IsUnavailable());
+    ++failed_drains;
+  }
+  ASSERT_TRUE(s.ok()) << "DrainUploads never succeeded: " << s.ToString();
+  EXPECT_EQ(failed_drains, 3);  // one parked drain per scripted failure
+  EXPECT_EQ(store.PendingUploads(), 0u);
+  EXPECT_EQ(store.stats().files_uploaded.load(), 5u);
+  EXPECT_EQ(blob.stats().puts.load(), 5u);  // exactly once each
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(blob.Exists("part0/f" + std::to_string(i)));
+  }
+}
+
+// Background-upload flavor: the pump hits a scripted failure, parks (no
+// busy retry loop against a down blob store), and later retries triggered
+// by Write/DrainUploads finish the job exactly once.
+TEST(DataFileStoreTest, BackgroundPumpParksOnFailureThenRecovers) {
+  MemBlobStore blob;
+  DataFileStoreOptions opts;
+  opts.blob_prefix = "p/";
+  opts.background_uploads = true;
+  DataFileStore store(&blob, opts);
+  blob.FailNextPuts(2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Write("f" + std::to_string(i), Bytes("data")).ok());
+  }
+  // The background pump and these drains race for the scripted failures;
+  // regardless of interleaving, a few retries must finish the uploads.
+  Status s;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    s = store.DrainUploads();
+    if (s.ok()) break;
+    EXPECT_TRUE(s.IsUnavailable());
+  }
+  ASSERT_TRUE(s.ok()) << "uploads never recovered: " << s.ToString();
+  EXPECT_EQ(store.PendingUploads(), 0u);
+  EXPECT_EQ(store.stats().files_uploaded.load(), 4u);
+  EXPECT_EQ(blob.stats().puts.load(), 4u);  // exactly once each
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(blob.Exists("p/f" + std::to_string(i)));
+  }
+}
+
 TEST(DataFileStoreTest, BackgroundUploaderDrains) {
   MemBlobStore blob;
   DataFileStoreOptions opts;

@@ -7,7 +7,9 @@
 
 #include "common/bitvector.h"
 #include "common/coding.h"
+#include "common/env.h"
 #include "common/executor.h"
+#include "common/fault_env.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -383,6 +385,148 @@ TEST(SchemaTest, FindColumn) {
   EXPECT_EQ(*schema.FindColumn("name"), 1);
   EXPECT_FALSE(schema.FindColumn("absent").ok());
   EXPECT_EQ(schema.num_columns(), 2u);
+}
+
+class EnvFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = env_.MakeTempDir("s2-env-fault");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)env_.RemoveDirRecursive(dir_); }
+
+  FaultInjectionEnv env_;
+  std::string dir_;
+};
+
+// WriteFileAtomic's crash-safety recipe, white-box: the temp file is
+// written AND fsync'd before the rename, and the parent directory is
+// fsync'd after — in that order. Skipping either step makes the rename
+// non-durable (see the power-loss tests below).
+TEST_F(EnvFaultTest, WriteFileAtomicSyncsTempThenRenamesThenSyncsDir) {
+  std::string target = dir_ + "/target";
+  ASSERT_TRUE(env_.WriteFileAtomic(target, "payload").ok());
+  EXPECT_EQ(*env_.ReadFileToString(target), "payload");
+
+  std::vector<EnvOp> ops;
+  for (const auto& [op, path] : env_.History()) ops.push_back(op);
+  std::vector<EnvOp> want = {EnvOp::kWrite, EnvOp::kSync, EnvOp::kRename,
+                             EnvOp::kSyncDir};
+  // `want` must appear as an ordered subsequence (MakeTempDir and the
+  // read add other entries around it).
+  size_t next = 0;
+  for (EnvOp op : ops) {
+    if (next < want.size() && op == want[next]) ++next;
+  }
+  EXPECT_EQ(next, want.size())
+      << "temp write, temp fsync, rename, dir fsync must happen in order";
+}
+
+TEST_F(EnvFaultTest, WriteFileAtomicTempSyncFailureKeepsOldContents) {
+  std::string target = dir_ + "/target";
+  ASSERT_TRUE(env_.WriteFileAtomic(target, "old").ok());
+
+  FaultSpec spec;
+  spec.mode = FaultSpec::Mode::kError;
+  env_.InjectFault(EnvOp::kSync, ".tmp", spec);
+  EXPECT_FALSE(env_.WriteFileAtomic(target, "new").ok());
+  EXPECT_TRUE(env_.FaultFired());
+  EXPECT_EQ(*env_.ReadFileToString(target), "old");
+
+  // Even after power loss the old contents survive: the failed update
+  // never renamed over the target.
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  EXPECT_EQ(*env_.ReadFileToString(target), "old");
+}
+
+TEST_F(EnvFaultTest, WriteFileAtomicRenameFailureKeepsOldContents) {
+  std::string target = dir_ + "/target";
+  ASSERT_TRUE(env_.WriteFileAtomic(target, "old").ok());
+
+  FaultSpec spec;
+  spec.mode = FaultSpec::Mode::kError;
+  env_.InjectFault(EnvOp::kRename, "/target", spec);
+  EXPECT_FALSE(env_.WriteFileAtomic(target, "new").ok());
+  EXPECT_EQ(*env_.ReadFileToString(target), "old");
+}
+
+// The parent-directory fsync is what makes the rename durable: when a
+// lying device drops it and power is lost, the freshly renamed file
+// vanishes — it never holds a partial write.
+TEST_F(EnvFaultTest, WriteFileAtomicDroppedDirSyncLosesFileWholesale) {
+  std::string target = dir_ + "/fresh";
+  FaultSpec spec;
+  spec.mode = FaultSpec::Mode::kDropSync;
+  env_.InjectFault(EnvOp::kSyncDir, dir_, spec);
+  ASSERT_TRUE(env_.WriteFileAtomic(target, "payload").ok());  // device lies
+  EXPECT_TRUE(env_.FileExists(target));
+
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  EXPECT_FALSE(env_.FileExists(target))
+      << "a rename without a durable dir entry must vanish at power loss";
+}
+
+// Control for the previous test: with every fsync honored, the atomic
+// write survives power loss with its full contents.
+TEST_F(EnvFaultTest, WriteFileAtomicSurvivesPowerLossIntact) {
+  std::string target = dir_ + "/fresh";
+  ASSERT_TRUE(env_.WriteFileAtomic(target, "payload").ok());
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  EXPECT_EQ(*env_.ReadFileToString(target), "payload");
+}
+
+TEST_F(EnvFaultTest, TornAppendWritesStrictPrefixThenFreezes) {
+  std::string path = dir_ + "/file";
+  ASSERT_TRUE(env_.AppendToFile(path, "0123456789", /*sync=*/true).ok());
+
+  FaultSpec spec;
+  spec.mode = FaultSpec::Mode::kTorn;
+  spec.seed = 42;
+  env_.InjectFault(EnvOp::kAppend, "/file", spec);
+  EXPECT_FALSE(env_.AppendToFile(path, "abcdefghij", /*sync=*/true).ok());
+  EXPECT_TRUE(env_.frozen());
+
+  auto size = env_.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_GE(*size, 10u);  // the synced first append is intact
+  EXPECT_LT(*size, 20u);  // the torn append is a strict prefix
+
+  // Frozen: mutating calls fail, reads still work (recovery code reads
+  // the "disk image" after the crash).
+  EXPECT_FALSE(env_.AppendToFile(path, "x", false).ok());
+  EXPECT_TRUE(env_.ReadFileToString(path).ok());
+  env_.Unfreeze();
+  EXPECT_TRUE(env_.AppendToFile(path, "x", false).ok());
+}
+
+TEST_F(EnvFaultTest, DropUnsyncedDataTruncatesUnsyncedAppends) {
+  std::string path = dir_ + "/log";
+  ASSERT_TRUE(env_.AppendToFile(path, "synced", /*sync=*/true).ok());
+
+  FaultSpec spec;
+  spec.mode = FaultSpec::Mode::kDropSync;
+  spec.count = 1 << 20;
+  env_.InjectFault(EnvOp::kSync, "", spec);
+  ASSERT_TRUE(env_.AppendToFile(path, "-lost", /*sync=*/true).ok());
+  EXPECT_EQ(*env_.ReadFileToString(path), "synced-lost");
+
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  EXPECT_EQ(*env_.ReadFileToString(path), "synced");
+}
+
+TEST_F(EnvFaultTest, ErrorFaultHonorsSkipAndCount) {
+  std::string path = dir_ + "/f";
+  FaultSpec spec;
+  spec.mode = FaultSpec::Mode::kError;
+  spec.skip = 1;
+  spec.count = 2;
+  env_.InjectFault(EnvOp::kWrite, "/f", spec);
+  EXPECT_TRUE(env_.WriteStringToFile(path, "a", false).ok());   // skipped
+  EXPECT_FALSE(env_.WriteStringToFile(path, "b", false).ok());  // fires
+  EXPECT_FALSE(env_.WriteStringToFile(path, "c", false).ok());  // fires
+  EXPECT_TRUE(env_.WriteStringToFile(path, "d", false).ok());   // exhausted
+  EXPECT_EQ(*env_.ReadFileToString(path), "d");
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <set>
 
 #include "blob/blob_store.h"
@@ -298,7 +300,9 @@ TEST_F(ExecTest, ScanSeesConsistentSnapshotDuringWrites) {
 class ExecPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_F(ExecTest, RandomFilterTreesMatchBruteForce) {
-  Rng rng(99);
+  const uint64_t seed = TestSeed(99);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 25; ++trial) {
     // Build a random tree of depth <= 2.
     auto make_leaf = [&]() -> std::unique_ptr<FilterNode> {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <algorithm>
 #include <atomic>
 #include <set>
@@ -61,7 +63,9 @@ TEST(PostingsTest, SeekToSkipsGroups) {
 }
 
 TEST(PostingsTest, SeekToPropertySweep) {
-  Rng rng(31);
+  const uint64_t seed = TestSeed(31);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   std::vector<uint32_t> rows;
   uint32_t v = 0;
   for (int i = 0; i < 5000; ++i) {
@@ -126,7 +130,9 @@ TEST(PostingsTest, UnionMerges) {
 }
 
 TEST(PostingsTest, IntersectRandomAgainstBruteForce) {
-  Rng rng(77);
+  const uint64_t seed = TestSeed(77);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 20; ++trial) {
     std::set<uint32_t> sa, sb;
     for (int i = 0; i < 300; ++i) {

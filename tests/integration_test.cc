@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <map>
 
 #include "blob/blob_store.h"
@@ -95,7 +97,9 @@ TEST_F(IntegrationTest, CrashRecoveryMatchesModelAcrossManyRestarts) {
   auto table = partition_->CreateTable("ledger", LedgerTable());
   ASSERT_TRUE(table.ok());
   std::map<int64_t, double> model;
-  Rng rng(2024);
+  const uint64_t seed = TestSeed(2024);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
 
   for (int epoch = 0; epoch < 5; ++epoch) {
     UnifiedTable* ledger = *partition_->GetTable("ledger");
@@ -182,7 +186,9 @@ TEST_F(IntegrationTest, TornLogPrefixRecoversConsistently) {
 
   std::string log_path = dir_ + "/part/log";
   std::string full_log = *ReadFileToString(log_path);
-  Rng rng(77);
+  const uint64_t seed = TestSeed(77);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 8; ++trial) {
     size_t cut = rng.Uniform(full_log.size() + 1);
     ASSERT_TRUE(WriteFileAtomic(log_path, full_log.substr(0, cut)).ok());

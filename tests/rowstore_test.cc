@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <atomic>
 #include <map>
 #include <set>
@@ -70,7 +72,9 @@ TEST(SkipListTest, ConcurrentInsertsAllPresent) {
 TEST(SkipListTest, ModelCheckAgainstStdMap) {
   SkipList list;
   std::set<std::string> model;
-  Rng rng(99);
+  const uint64_t seed = TestSeed(99);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   for (int i = 0; i < 5000; ++i) {
     std::string key = "k" + std::to_string(rng.Uniform(800));
     bool created;

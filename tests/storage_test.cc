@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <map>
 #include <set>
 #include <thread>
@@ -526,10 +528,12 @@ TEST_F(StorageTest, ConcurrentWorkloadModelCheck) {
   std::map<int64_t, std::string> model;
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 150;
+  const uint64_t seed = TestSeed(1000);
+  SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Rng rng(1000 + t);
+      Rng rng(seed + static_cast<uint64_t>(t));
       for (int i = 0; i < kOpsPerThread; ++i) {
         int64_t id = static_cast<int64_t>(rng.Uniform(50));
         std::string tag = "v" + std::to_string(rng.Uniform(1000));

@@ -1,0 +1,24 @@
+#ifndef S2_TESTS_TEST_UTIL_H_
+#define S2_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace s2 {
+
+/// Seed for a randomized test: `default_seed` unless the S2_TEST_SEED env
+/// var overrides it (replaying a failure). Pair with
+///   SCOPED_TRACE("S2_TEST_SEED=" + std::to_string(seed));
+/// so any assertion failure prints the seed to rerun with.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("S2_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return default_seed;
+}
+
+}  // namespace s2
+
+#endif  // S2_TESTS_TEST_UTIL_H_
