@@ -95,5 +95,19 @@ int main() {
          "(%.1fx lower p50 here); the paper's design argument in one "
          "number.\n",
          async.p50_us > 0 ? sync.p50_us / async.p50_us : 0);
+
+  char json[512];
+  snprintf(json, sizeof(json),
+           "{\"bench\":\"ablation_commit_path\","
+           "\"async\":{\"avg_us\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+           "\"blob_puts\":%llu},"
+           "\"sync\":{\"avg_us\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+           "\"blob_puts\":%llu}}",
+           async.avg_us, async.p50_us, async.p99_us,
+           static_cast<unsigned long long>(async.blob_puts_during_commits),
+           sync.avg_us, sync.p50_us, sync.p99_us,
+           static_cast<unsigned long long>(sync.blob_puts_during_commits));
+  printf("\n%s\n", json);
+  bench::WriteBenchJson("ablation_commit_path", json);
   return 0;
 }

@@ -124,5 +124,15 @@ int main() {
          "S2DB scaled/S2DB ratio = %.2f\n",
          cdb.tpmc > 0 ? s2_small.tpmc / cdb.tpmc : 0,
          s2_small.tpmc > 0 ? s2_big.tpmc / s2_small.tpmc : 0);
+
+  char json[512];
+  snprintf(json, sizeof(json),
+           "{\"bench\":\"table1_tpcc\",\"warehouses\":%d,"
+           "\"cdb_tpmc\":%.1f,\"s2db_tpmc\":%.1f,\"s2db_scaled_tpmc\":%.1f,"
+           "\"s2db_aborts\":%llu}",
+           w_small, cdb.tpmc, s2_small.tpmc, s2_big.tpmc,
+           static_cast<unsigned long long>(s2_small.aborts));
+  printf("\n%s\n", json);
+  bench::WriteBenchJson("table1_tpcc", json);
   return 0;
 }

@@ -137,5 +137,19 @@ int main() {
                  bench::GeoMean(s2db.query_seconds));
     }
   }
+
+  char json[512];
+  snprintf(json, sizeof(json),
+           "{\"bench\":\"table2_tpch\","
+           "\"s2db_geomean_s\":%.6f,\"cdw1_geomean_s\":%.6f,"
+           "\"cdw2_geomean_s\":%.6f,\"cdb_geomean_s\":%.6f,"
+           "\"cdb_finished\":%s}",
+           bench::GeoMean(s2db.query_seconds),
+           bench::GeoMean(cdw1.query_seconds),
+           bench::GeoMean(cdw2.query_seconds),
+           cdb.finished ? bench::GeoMean(cdb.query_seconds) : 0.0,
+           cdb.finished ? "true" : "false");
+  printf("\n%s\n", json);
+  bench::WriteBenchJson("table2_tpch", json);
   return 0;
 }

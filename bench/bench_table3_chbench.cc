@@ -114,5 +114,16 @@ int main() {
          case1.tpmc > 0 ? case4.tpmc / case1.tpmc : 0,
          case2.qps > 0 ? case4.qps / case2.qps : 0,
          case4.tpmc > 0 ? case5.tpmc / case4.tpmc : 0);
+
+  char json[512];
+  snprintf(json, sizeof(json),
+           "{\"bench\":\"table3_chbench\","
+           "\"case1_tpmc\":%.1f,\"case2_qps\":%.4f,\"case3_tpmc\":%.1f,"
+           "\"case3_qps\":%.4f,\"case4_tpmc\":%.1f,\"case4_qps\":%.4f,"
+           "\"case5_tpmc\":%.1f,\"case5_qps\":%.4f}",
+           case1.tpmc, case2.qps, case3.tpmc, case3.qps, case4.tpmc,
+           case4.qps, case5.tpmc, case5.qps);
+  printf("\n%s\n", json);
+  bench::WriteBenchJson("table3_chbench", json);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace s2 {
 namespace bench {
@@ -60,6 +61,24 @@ class ScratchDir {
  private:
   std::string path_;
 };
+
+/// Writes the bench's machine-readable summary object to BENCH_<name>.json
+/// in the current working directory, with the process-wide metrics dump
+/// embedded as a "metrics" field (spliced in before the closing brace).
+/// `summary_json` is the same one-line JSON object the bench prints.
+inline void WriteBenchJson(const std::string& name, std::string summary_json) {
+  size_t brace = summary_json.rfind('}');
+  if (brace == std::string::npos) return;
+  summary_json.insert(brace,
+                      ",\"metrics\":" + MetricsRegistry::Global()->DumpJson());
+  std::string path = "BENCH_" + name + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  fwrite(summary_json.data(), 1, summary_json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  printf("Wrote %s\n", path.c_str());
+}
 
 inline void PrintHeader(const char* title) {
   printf("\n================================================================\n");

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace s2 {
 
@@ -14,6 +15,56 @@ void MaybeSleepUs(uint64_t us) {
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 }  // namespace
+
+// --- BlobStore (instrumented wrappers) ---
+
+Status BlobStore::Put(const std::string& key, const std::string& data) {
+  ScopedTimer timer(&S2_HISTOGRAM("s2_blob_put_ns"));
+  Status s = DoPut(key, data);
+  if (s.ok()) {
+    stats_.puts.fetch_add(1);
+    stats_.bytes_uploaded.fetch_add(data.size());
+    S2_COUNTER("s2_blob_put_total").Add();
+    S2_COUNTER("s2_blob_put_bytes_total").Add(data.size());
+  } else {
+    timer.Cancel();  // keep the success-latency histogram clean
+    S2_COUNTER("s2_blob_put_errors_total").Add();
+  }
+  return s;
+}
+
+Result<std::string> BlobStore::Get(const std::string& key) {
+  ScopedTimer timer(&S2_HISTOGRAM("s2_blob_get_ns"));
+  Result<std::string> r = DoGet(key);
+  if (r.ok()) {
+    stats_.gets.fetch_add(1);
+    stats_.bytes_downloaded.fetch_add(r->size());
+    S2_COUNTER("s2_blob_get_total").Add();
+    S2_COUNTER("s2_blob_get_bytes_total").Add(r->size());
+  } else {
+    timer.Cancel();
+    S2_COUNTER("s2_blob_get_errors_total").Add();
+  }
+  return r;
+}
+
+Status BlobStore::Delete(const std::string& key) {
+  Status s = DoDelete(key);
+  if (s.ok()) {
+    stats_.deletes.fetch_add(1);
+    S2_COUNTER("s2_blob_delete_total").Add();
+  }
+  return s;
+}
+
+Result<std::vector<std::string>> BlobStore::List(const std::string& prefix) {
+  return DoList(prefix);
+}
+
+bool BlobStore::Exists(const std::string& key) {
+  S2_COUNTER("s2_blob_exists_total").Add();
+  return DoExists(key);
+}
 
 // --- MemBlobStore ---
 
@@ -51,7 +102,7 @@ void MemBlobStore::FailNextGets(size_t n) {
   get_failures_.assign(n, true);
 }
 
-Status MemBlobStore::Put(const std::string& key, const std::string& data) {
+Status MemBlobStore::DoPut(const std::string& key, const std::string& data) {
   S2_RETURN_NOT_OK(CheckAvailable());
   MaybeSleepUs(put_latency_us_.load());
   std::lock_guard<std::mutex> lock(mu_);
@@ -59,12 +110,10 @@ Status MemBlobStore::Put(const std::string& key, const std::string& data) {
     return Status::Unavailable("blob put failure (scripted): " + key);
   }
   objects_[key] = data;
-  stats_.puts.fetch_add(1);
-  stats_.bytes_uploaded.fetch_add(data.size());
   return Status::OK();
 }
 
-Result<std::string> MemBlobStore::Get(const std::string& key) {
+Result<std::string> MemBlobStore::DoGet(const std::string& key) {
   S2_RETURN_NOT_OK(CheckAvailable());
   MaybeSleepUs(get_latency_us_.load());
   std::lock_guard<std::mutex> lock(mu_);
@@ -73,20 +122,17 @@ Result<std::string> MemBlobStore::Get(const std::string& key) {
   }
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no blob object " + key);
-  stats_.gets.fetch_add(1);
-  stats_.bytes_downloaded.fetch_add(it->second.size());
   return it->second;
 }
 
-Status MemBlobStore::Delete(const std::string& key) {
+Status MemBlobStore::DoDelete(const std::string& key) {
   S2_RETURN_NOT_OK(CheckAvailable());
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.deletes.fetch_add(1);
   objects_.erase(key);
   return Status::OK();
 }
 
-Result<std::vector<std::string>> MemBlobStore::List(
+Result<std::vector<std::string>> MemBlobStore::DoList(
     const std::string& prefix) {
   S2_RETURN_NOT_OK(CheckAvailable());
   std::lock_guard<std::mutex> lock(mu_);
@@ -99,7 +145,7 @@ Result<std::vector<std::string>> MemBlobStore::List(
   return keys;
 }
 
-bool MemBlobStore::Exists(const std::string& key) {
+bool MemBlobStore::DoExists(const std::string& key) {
   if (!available_.load()) return false;
   std::lock_guard<std::mutex> lock(mu_);
   return objects_.count(key) > 0;
@@ -117,32 +163,27 @@ std::string LocalDirBlobStore::PathFor(const std::string& key) const {
   return root_ + "/" + key;
 }
 
-Status LocalDirBlobStore::Put(const std::string& key,
+Status LocalDirBlobStore::DoPut(const std::string& key,
                               const std::string& data) {
   std::string path = PathFor(key);
   auto slash = path.find_last_of('/');
   S2_RETURN_NOT_OK(env_->CreateDirs(path.substr(0, slash)));
   S2_RETURN_NOT_OK(env_->WriteFileAtomic(path, data));
-  stats_.puts.fetch_add(1);
-  stats_.bytes_uploaded.fetch_add(data.size());
   return Status::OK();
 }
 
-Result<std::string> LocalDirBlobStore::Get(const std::string& key) {
+Result<std::string> LocalDirBlobStore::DoGet(const std::string& key) {
   std::string path = PathFor(key);
   if (!env_->FileExists(path)) return Status::NotFound("no blob object " + key);
   S2_ASSIGN_OR_RETURN(std::string data, env_->ReadFileToString(path));
-  stats_.gets.fetch_add(1);
-  stats_.bytes_downloaded.fetch_add(data.size());
   return data;
 }
 
-Status LocalDirBlobStore::Delete(const std::string& key) {
-  stats_.deletes.fetch_add(1);
+Status LocalDirBlobStore::DoDelete(const std::string& key) {
   return env_->RemoveFile(PathFor(key));
 }
 
-Result<std::vector<std::string>> LocalDirBlobStore::List(
+Result<std::vector<std::string>> LocalDirBlobStore::DoList(
     const std::string& prefix) {
   namespace fs = std::filesystem;
   std::vector<std::string> keys;
@@ -157,7 +198,7 @@ Result<std::vector<std::string>> LocalDirBlobStore::List(
   return keys;
 }
 
-bool LocalDirBlobStore::Exists(const std::string& key) {
+bool LocalDirBlobStore::DoExists(const std::string& key) {
   return env_->FileExists(PathFor(key));
 }
 

@@ -31,19 +31,31 @@ struct BlobStats {
 /// availability — implementations support injected outages so tests can
 /// show steady-state workloads survive blob unavailability when reads stay
 /// within the cached working set.
+///
+/// The public operations are non-virtual wrappers that maintain BlobStats
+/// and the process-wide metrics (s2_blob_put_ns / s2_blob_get_ns latency
+/// histograms, byte and error counters) uniformly across backends;
+/// implementations override the Do* hooks.
 class BlobStore {
  public:
   virtual ~BlobStore() = default;
 
-  virtual Status Put(const std::string& key, const std::string& data) = 0;
-  virtual Result<std::string> Get(const std::string& key) = 0;
-  virtual Status Delete(const std::string& key) = 0;
-  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
-  virtual bool Exists(const std::string& key) = 0;
+  Status Put(const std::string& key, const std::string& data);
+  Result<std::string> Get(const std::string& key);
+  Status Delete(const std::string& key);
+  Result<std::vector<std::string>> List(const std::string& prefix);
+  bool Exists(const std::string& key);
 
   const BlobStats& stats() const { return stats_; }
 
  protected:
+  virtual Status DoPut(const std::string& key, const std::string& data) = 0;
+  virtual Result<std::string> DoGet(const std::string& key) = 0;
+  virtual Status DoDelete(const std::string& key) = 0;
+  virtual Result<std::vector<std::string>> DoList(
+      const std::string& prefix) = 0;
+  virtual bool DoExists(const std::string& key) = 0;
+
   BlobStats stats_;
 };
 
@@ -52,12 +64,6 @@ class BlobStore {
 class MemBlobStore : public BlobStore {
  public:
   MemBlobStore() = default;
-
-  Status Put(const std::string& key, const std::string& data) override;
-  Result<std::string> Get(const std::string& key) override;
-  Status Delete(const std::string& key) override;
-  Result<std::vector<std::string>> List(const std::string& prefix) override;
-  bool Exists(const std::string& key) override;
 
   /// Simulated outage: every operation returns Unavailable while false.
   void set_available(bool available) { available_ = available; }
@@ -76,6 +82,13 @@ class MemBlobStore : public BlobStore {
   /// Same, for Get.
   void ScriptGetFailures(std::vector<bool> schedule);
   void FailNextGets(size_t n);
+
+ protected:
+  Status DoPut(const std::string& key, const std::string& data) override;
+  Result<std::string> DoGet(const std::string& key) override;
+  Status DoDelete(const std::string& key) override;
+  Result<std::vector<std::string>> DoList(const std::string& prefix) override;
+  bool DoExists(const std::string& key) override;
 
  private:
   Status CheckAvailable() const;
@@ -98,11 +111,12 @@ class LocalDirBlobStore : public BlobStore {
   /// `env` null means Env::Default(); tests pass a FaultInjectionEnv.
   explicit LocalDirBlobStore(std::string root, Env* env = nullptr);
 
-  Status Put(const std::string& key, const std::string& data) override;
-  Result<std::string> Get(const std::string& key) override;
-  Status Delete(const std::string& key) override;
-  Result<std::vector<std::string>> List(const std::string& prefix) override;
-  bool Exists(const std::string& key) override;
+ protected:
+  Status DoPut(const std::string& key, const std::string& data) override;
+  Result<std::string> DoGet(const std::string& key) override;
+  Status DoDelete(const std::string& key) override;
+  Result<std::vector<std::string>> DoList(const std::string& prefix) override;
+  bool DoExists(const std::string& key) override;
 
  private:
   std::string PathFor(const std::string& key) const;

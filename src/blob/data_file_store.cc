@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace s2 {
 
@@ -62,6 +63,8 @@ void DataFileStore::PumpUploads() {
     --uploads_inflight_;
     if (!s.ok()) {
       upload_queue_.push_front(name);
+      stats_.upload_retries.fetch_add(1);
+      S2_COUNTER("s2_blob_upload_retries_total").Add();
       last_upload_error_ = s;
     }
     if (upload_queue_.empty() || !s.ok()) drain_cv_.notify_all();
@@ -92,6 +95,7 @@ Status DataFileStore::Write(const std::string& name,
     }
   }
   cached_bytes_ += data->size();
+  S2_GAUGE("s2_cache_bytes").Set(static_cast<int64_t>(cached_bytes_));
   it->second.data = std::move(data);
   it->second.uploaded = false;
   lru_.push_front(name);
@@ -109,19 +113,65 @@ Status DataFileStore::Write(const std::string& name,
 
 Result<std::shared_ptr<const std::string>> DataFileStore::Read(
     const std::string& name) {
+  std::shared_ptr<InflightFetch> fetch;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = files_.find(name);
     if (it != files_.end() && it->second.data != nullptr) {
       stats_.local_hits.fetch_add(1);
+      S2_COUNTER("s2_cache_mem_hits_total").Add();
       TouchLocked(name, &it->second);
       return it->second.data;
     }
+    // Cold read. Single-flight: the first reader of a missing file becomes
+    // the leader and performs the fetch; concurrent readers of the same
+    // file share its result instead of issuing duplicate blob Gets.
+    auto [fit, inserted] = inflight_.try_emplace(name);
+    if (inserted) {
+      fit->second = std::make_shared<InflightFetch>();
+      leader = true;
+    }
+    fetch = fit->second;
   }
+
+  if (!leader) {
+    stats_.coalesced_reads.fetch_add(1);
+    S2_COUNTER("s2_cache_wait_total").Add();
+    // Wait on the fetch's own mutex/cv — never on mu_ — so a slow blob
+    // backend only stalls readers of this file.
+    std::unique_lock<std::mutex> flock(fetch->m);
+    fetch->cv.wait(flock, [&fetch] { return fetch->done; });
+    if (!fetch->status.ok()) return fetch->status;
+    return fetch->data;
+  }
+
+  auto result = FetchAndInsert(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(name);
+  }
+  {
+    std::lock_guard<std::mutex> flock(fetch->m);
+    fetch->done = true;
+    if (result.ok()) {
+      fetch->data = *result;
+    } else {
+      fetch->status = result.status();
+    }
+  }
+  fetch->cv.notify_all();
+  return result;
+}
+
+Result<std::shared_ptr<const std::string>> DataFileStore::FetchAndInsert(
+    const std::string& name) {
+  ScopedTimer timer(&S2_HISTOGRAM("s2_cache_fetch_ns"));
   // Memory miss: try the local disk copy, then blob storage (cold data
   // pulled on demand), then re-cache.
   std::string bytes;
   bool have_bytes = false;
+  bool from_disk = false;
   if (!options_.local_dir.empty()) {
     std::string path = options_.local_dir + "/" + name;
     if (env_->FileExists(path)) {
@@ -129,28 +179,46 @@ Result<std::shared_ptr<const std::string>> DataFileStore::Read(
       if (local.ok()) {
         bytes = std::move(*local);
         have_bytes = true;
+        from_disk = true;
         stats_.local_hits.fetch_add(1);
+        S2_COUNTER("s2_cache_disk_hits_total").Add();
       }
     }
   }
   if (!have_bytes) {
-    if (blob_ == nullptr) return Status::NotFound("no data file " + name);
-    S2_ASSIGN_OR_RETURN(bytes, blob_->Get(BlobKey(name)));
+    if (blob_ == nullptr) {
+      timer.Cancel();
+      return Status::NotFound("no data file " + name);
+    }
+    S2_COUNTER("s2_cache_misses_total").Add();
+    auto fetched = blob_->Get(BlobKey(name));
+    if (!fetched.ok()) {
+      timer.Cancel();
+      return fetched.status();
+    }
+    bytes = std::move(*fetched);
     stats_.blob_fetches.fetch_add(1);
   }
+  // A disk-recovered file may not have been uploaded before the crash;
+  // probe blob existence *before* taking mu_ (the probe may be a remote
+  // round-trip) so the cache stays responsive during it. A blob-fetched
+  // file trivially exists in the blob store; skip the probe.
+  bool in_blob = !from_disk;
+  if (from_disk && blob_ != nullptr) in_blob = blob_->Exists(BlobKey(name));
+
   auto data = std::make_shared<const std::string>(std::move(bytes));
   std::lock_guard<std::mutex> lock(mu_);
   auto& entry = files_[name];
   if (entry.data == nullptr) {
     entry.data = data;
-    // A disk-recovered file may not have been uploaded before the crash;
-    // re-queue it in that case so blob history stays complete.
-    entry.uploaded = blob_ != nullptr && blob_->Exists(BlobKey(name));
+    entry.uploaded = blob_ != nullptr && in_blob;
     if (blob_ != nullptr && !entry.uploaded) {
+      // Re-queue so blob history stays complete.
       upload_queue_.push_back(name);
       SchedulePumpLocked();
     }
     cached_bytes_ += data->size();
+    S2_GAUGE("s2_cache_bytes").Set(static_cast<int64_t>(cached_bytes_));
     lru_.push_front(name);
     entry.lru_it = lru_.begin();
     EvictColdLocked();
@@ -174,6 +242,7 @@ Status DataFileStore::Remove(const std::string& name) {
   if (it == files_.end()) return Status::NotFound("no data file " + name);
   if (it->second.data != nullptr) {
     cached_bytes_ -= it->second.data->size();
+    S2_GAUGE("s2_cache_bytes").Set(static_cast<int64_t>(cached_bytes_));
     lru_.erase(it->second.lru_it);
   }
   files_.erase(it);
@@ -218,6 +287,8 @@ Status DataFileStore::DrainUploads() {
     --uploads_inflight_;
     if (!s.ok()) {
       upload_queue_.push_front(name);
+      stats_.upload_retries.fetch_add(1);
+      S2_COUNTER("s2_blob_upload_retries_total").Add();
       last_upload_error_ = s;
       drain_cv_.notify_all();
       return s;
@@ -238,6 +309,11 @@ size_t DataFileStore::PendingUploads() const {
 void DataFileStore::EvictCold() {
   std::lock_guard<std::mutex> lock(mu_);
   EvictColdLocked();
+}
+
+size_t DataFileStore::CachedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_bytes_;
 }
 
 void DataFileStore::ForEachFile(
@@ -291,6 +367,8 @@ void DataFileStore::EvictColdLocked() {
       continue;  // pinned until uploaded
     }
     cached_bytes_ -= fit->second.data->size();
+    S2_GAUGE("s2_cache_bytes").Set(static_cast<int64_t>(cached_bytes_));
+    S2_COUNTER("s2_cache_evictions_total").Add();
     fit->second.data = nullptr;
     if (!options_.local_dir.empty()) {
       // Cold + uploaded: drop the local-disk copy too; it can always be

@@ -47,6 +47,11 @@ struct DataFileStats {
   std::atomic<uint64_t> files_written{0};
   std::atomic<uint64_t> files_uploaded{0};
   std::atomic<uint64_t> files_evicted{0};
+  /// Readers that joined another reader's in-flight fetch of the same file
+  /// instead of issuing their own (single-flight coalescing).
+  std::atomic<uint64_t> coalesced_reads{0};
+  /// Failed uploads put back on the queue for a later retry.
+  std::atomic<uint64_t> upload_retries{0};
 };
 
 /// Manages the immutable columnstore data files of one partition across the
@@ -126,11 +131,26 @@ class DataFileStore {
   BlobStore* blob() const { return blob_; }
   const std::string& blob_prefix() const { return options_.blob_prefix; }
 
+  /// Bytes of file content currently resident in the in-memory cache.
+  size_t CachedBytes() const;
+
  private:
   struct Entry {
     std::shared_ptr<const std::string> data;  // null when evicted
     bool uploaded = false;
     std::list<std::string>::iterator lru_it;  // valid when data != null
+  };
+
+  /// Single-flight state for one cold read: the first reader (the leader)
+  /// performs the disk/blob fetch while later readers of the same file wait
+  /// on `cv` — without holding mu_, so cache hits on other files proceed
+  /// while a slow blob backend is mid-fetch.
+  struct InflightFetch {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;  // fetch outcome; data valid iff ok
+    std::shared_ptr<const std::string> data;
   };
 
   std::string BlobKey(const std::string& name) const {
@@ -152,9 +172,14 @@ class DataFileStore {
   Executor* exec_ = nullptr;  // non-null iff background uploads are on
   Env* env_ = nullptr;        // resolved from options_.env in the ctor
 
+  /// The leader's fetch for `name`; called without mu_ held.
+  Result<std::shared_ptr<const std::string>> FetchAndInsert(
+      const std::string& name);
+
   mutable std::mutex mu_;
   std::condition_variable drain_cv_;
   std::unordered_map<std::string, Entry> files_;
+  std::unordered_map<std::string, std::shared_ptr<InflightFetch>> inflight_;
   std::list<std::string> lru_;  // front = most recent
   std::deque<std::string> upload_queue_;
   size_t cached_bytes_ = 0;

@@ -1,0 +1,255 @@
+#ifndef S2_COMMON_METRICS_H_
+#define S2_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace s2 {
+
+/// Monotonic event counter. The hot path is one relaxed fetch_add; call
+/// sites cache the pointer handed out by MetricsRegistry (see the
+/// S2_COUNTER macro below) so name lookup happens once per call site.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, cached bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Bounded-memory log-linear latency histogram. Values (nanoseconds, but
+/// any uint64 works) are bucketed by power-of-two octave with kSub linear
+/// sub-buckets per octave, so every recorded sample lands within ~1/kSub
+/// relative error of its bucket's representative value. Memory is a fixed
+/// array of atomics regardless of how many samples are recorded, and
+/// Record() is lock-free (three relaxed atomic ops plus a CAS-loop max).
+class Histogram {
+ public:
+  static constexpr size_t kSubShift = 3;  // 8 linear sub-buckets per octave
+  static constexpr size_t kSub = size_t{1} << kSubShift;
+  static constexpr size_t kBuckets = (64 - kSubShift + 1) * kSub;
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Approximate quantile (q in [0, 1]) from bucket representatives; the
+  /// top quantile is clamped to the exact observed max.
+  uint64_t Quantile(double q) const;
+
+  void Reset();
+
+  /// Bucket index for a value and the representative (midpoint) value of a
+  /// bucket; exposed for tests of the bucketing error bound.
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketMid(size_t bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Process-wide registry of named metrics. Registration (first lookup of a
+/// name) takes a mutex; the returned pointers stay valid for the process
+/// lifetime and are lock-free to update. ResetForTest zeroes values but
+/// never invalidates pointers, so cached call-site handles survive.
+///
+/// Naming convention (the catalog lives in DESIGN.md): snake_case with an
+/// `s2_` prefix; counters end in `_total` (or `_bytes_total`), histograms
+/// of durations end in `_ns`.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry* Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Prometheus-style text exposition: `name value` lines for counters and
+  /// gauges; `name{quantile="..."}`, `name_count`, `name_sum`, `name_max`
+  /// for histograms. Names are emitted in sorted order.
+  std::string Dump() const;
+
+  /// The same data as one JSON object (bench harness output): counters and
+  /// gauges as numbers, histograms as {count, sum, mean, p50, p95, p99,
+  /// max} objects.
+  std::string DumpJson() const;
+
+  /// Zeroes every registered metric (pointers stay valid).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records elapsed nanoseconds into a histogram at scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist), start_(NowNs()) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(NowNs() - start_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedNs() const { return NowNs() - start_; }
+  /// Drops the pending record (e.g. the operation failed and its latency
+  /// would pollute the success histogram).
+  void Cancel() { hist_ = nullptr; }
+
+  static uint64_t NowNs();
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+// Cached-handle accessors: the static local resolves the name once per call
+// site, after which the metric update is a single atomic op.
+#define S2_COUNTER(name)                                              \
+  ([]() -> ::s2::Counter& {                                           \
+    static ::s2::Counter* c =                                         \
+        ::s2::MetricsRegistry::Global()->counter(name);               \
+    return *c;                                                        \
+  }())
+#define S2_GAUGE(name)                                                \
+  ([]() -> ::s2::Gauge& {                                             \
+    static ::s2::Gauge* g = ::s2::MetricsRegistry::Global()->gauge(name); \
+    return *g;                                                        \
+  }())
+#define S2_HISTOGRAM(name)                                            \
+  ([]() -> ::s2::Histogram& {                                         \
+    static ::s2::Histogram* h =                                       \
+        ::s2::MetricsRegistry::Global()->histogram(name);             \
+    return *h;                                                        \
+  }())
+#define S2_SCOPED_TIMER_CONCAT_(x, y) x##y
+#define S2_SCOPED_TIMER_CONCAT(x, y) S2_SCOPED_TIMER_CONCAT_(x, y)
+#define S2_SCOPED_TIMER(name)                           \
+  ::s2::ScopedTimer S2_SCOPED_TIMER_CONCAT(             \
+      _s2_scoped_timer_, __LINE__)(&S2_HISTOGRAM(name))
+
+// ---------------------------------------------------------------------------
+// Trace events
+// ---------------------------------------------------------------------------
+
+/// One trace event: a point event (duration_ns == 0) or a completed span.
+/// `category` is a static string literal supplied at the emit site.
+struct TraceEvent {
+  const char* category = "";
+  std::string detail;
+  uint64_t start_ns = 0;     // ScopedTimer::NowNs() clock
+  uint64_t duration_ns = 0;  // 0 for instant events
+  uint64_t seq = 0;          // global emission order
+};
+
+/// Bounded ring buffer of trace events, off by default. When enabled,
+/// S2_TRACE_SPAN / S2_TRACE_EVENT sites record into it; tests snapshot the
+/// buffer to reconstruct e.g. a scan's per-segment strategy decisions.
+/// When disabled the only cost at an emit site is one relaxed atomic load
+/// (detail strings are not even built; see the macros).
+class TraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 8192;
+
+  static TraceBuffer* Global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Emit(const char* category, std::string detail, uint64_t start_ns,
+            uint64_t duration_ns);
+
+  /// Events currently in the ring, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // ring_[seq % kCapacity]
+  uint64_t next_seq_ = 0;
+};
+
+/// RAII span: emits one event with the scope's duration at destruction.
+/// Construct with the detail string, or amend it mid-scope via AppendDetail
+/// (e.g. record a strategy decision made inside the span).
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string detail)
+      : enabled_(TraceBuffer::Global()->enabled()),
+        category_(category),
+        detail_(std::move(detail)),
+        start_(enabled_ ? ScopedTimer::NowNs() : 0) {}
+  ~TraceSpan() {
+    if (enabled_) {
+      TraceBuffer::Global()->Emit(category_, std::move(detail_), start_,
+                                  ScopedTimer::NowNs() - start_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void AppendDetail(const std::string& more) {
+    if (enabled_) detail_ += more;
+  }
+
+ private:
+  bool enabled_;
+  const char* category_;
+  std::string detail_;
+  uint64_t start_;
+};
+
+// Span over the enclosing scope. The detail expression is only evaluated
+// when tracing is enabled.
+#define S2_TRACE_SPAN(var, category, detail_expr)                        \
+  ::s2::TraceSpan var(                                                   \
+      category, ::s2::TraceBuffer::Global()->enabled() ? (detail_expr)   \
+                                                       : std::string())
+// Instant event (no duration).
+#define S2_TRACE_EVENT(category, detail_expr)                            \
+  do {                                                                   \
+    if (::s2::TraceBuffer::Global()->enabled()) {                        \
+      ::s2::TraceBuffer::Global()->Emit(                                 \
+          category, (detail_expr), ::s2::ScopedTimer::NowNs(), 0);       \
+    }                                                                    \
+  } while (0)
+
+}  // namespace s2
+
+#endif  // S2_COMMON_METRICS_H_

@@ -1,6 +1,23 @@
 #include "common/threadpool.h"
 
+#include "common/metrics.h"
+
 namespace s2 {
+
+namespace {
+
+// Shared-executor observability: queue depth as a gauge, per-task execution
+// latency as a histogram. One pool of metrics across all pools — the
+// process normally runs one shared Executor (see DESIGN.md).
+void NoteSubmitted() { S2_GAUGE("s2_exec_queue_depth").Add(1); }
+void NoteDequeued() { S2_GAUGE("s2_exec_queue_depth").Add(-1); }
+
+struct TaskRunScope {
+  ScopedTimer timer{&S2_HISTOGRAM("s2_exec_task_ns")};
+  ~TaskRunScope() { S2_COUNTER("s2_exec_tasks_total").Add(); }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -18,6 +35,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
+  NoteSubmitted();
   task_cv_.notify_one();
   return true;
 }
@@ -48,7 +66,11 @@ bool ThreadPool::TryRunOne() {
     queue_.pop_front();
     ++active_;
   }
-  task();
+  NoteDequeued();
+  {
+    TaskRunScope scope;
+    task();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     --active_;
@@ -71,7 +93,11 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    NoteDequeued();
+    {
+      TaskRunScope scope;
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

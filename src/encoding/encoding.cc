@@ -111,10 +111,12 @@ class BitPackIntReader : public ReaderBase {
         min_(min),
         width_(width) {}
 
+  // The encoder computes deltas as wrapping uint64 subtraction (the full
+  // int64 range can exceed int64); decode must add them back the same way.
   Value ValueAt(uint32_t row) const override {
     if (IsNull(row)) return Value::Null();
-    return Value(min_ + static_cast<int64_t>(
-                            BitUnpackOne(payload_, row, width_)));
+    return Value(static_cast<int64_t>(static_cast<uint64_t>(min_) +
+                                      BitUnpackOne(payload_, row, width_)));
   }
 
   void DecodeAll(ColumnVector* out) const override {
@@ -123,8 +125,8 @@ class BitPackIntReader : public ReaderBase {
       if (IsNull(i)) {
         out->AppendNull();
       } else {
-        out->AppendInt(min_ + static_cast<int64_t>(
-                                  BitUnpackOne(payload_, i, width_)));
+        out->AppendInt(static_cast<int64_t>(static_cast<uint64_t>(min_) +
+                                            BitUnpackOne(payload_, i, width_)));
       }
     }
   }

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/metrics.h"
+
 namespace s2 {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
@@ -16,6 +18,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   copts.blob = db->options_.blob;
   copts.auto_maintain = db->options_.auto_maintain;
   copts.background_uploads = db->options_.background_uploads;
+  copts.cache_bytes = db->options_.cache_bytes;
   copts.sync_blob_commit =
       db->options_.profile == EngineProfile::kCloudWarehouse;
   copts.num_exec_threads = db->options_.num_exec_threads;
@@ -50,6 +53,14 @@ Status Database::CreateTable(const std::string& name, TableOptions options,
 Status Database::Insert(const std::string& table, const std::vector<Row>& rows,
                         DupPolicy policy) {
   return cluster_->InsertRows(table, rows, policy);
+}
+
+std::string Database::DumpMetrics() {
+  return MetricsRegistry::Global()->Dump();
+}
+
+std::string Database::DumpMetricsJson() {
+  return MetricsRegistry::Global()->DumpJson();
 }
 
 }  // namespace s2

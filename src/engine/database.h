@@ -37,6 +37,9 @@ struct DatabaseOptions {
   int ha_replicas = 0;
   bool auto_maintain = true;
   bool background_uploads = false;
+  /// Per-partition local data-file cache budget ("local disk" size).
+  /// Tests shrink this to force cold reads through the blob store.
+  size_t cache_bytes = 256ull << 20;
   EngineProfile profile = EngineProfile::kUnified;
   /// Worker threads for the cluster executor (query fan-out, parallel
   /// segment scans, maintenance, uploads). 0 = hardware concurrency;
@@ -87,6 +90,12 @@ class Database {
 
   Cluster* cluster() { return cluster_.get(); }
   EngineProfile profile() const { return options_.profile; }
+
+  /// Prometheus-style text dump of the process-wide metrics registry
+  /// (latency histograms, counters, gauges from every engine layer).
+  static std::string DumpMetrics();
+  /// Same data as one JSON object; embedded in bench harness output.
+  static std::string DumpMetricsJson();
 
  private:
   explicit Database(DatabaseOptions options);

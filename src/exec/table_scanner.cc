@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <mutex>
+#include <string>
 
+#include "common/metrics.h"
 #include "index/inverted_index.h"
 #include "index/postings.h"
 
@@ -16,6 +19,33 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Lower clamp for measured clause cost in the (1 - P) / cost ordering.
+/// Vectorized clauses routinely cost well under 1 ns/row; clamping at 1.0
+/// (the old behaviour) collapsed every such clause to the same cost and
+/// made the ordering selectivity-only. A small epsilon keeps the division
+/// safe without erasing real sub-nanosecond cost differences.
+constexpr double kMinCostNsPerRow = 1e-3;
+
+/// Relative change in a clause's (1 - P) / cost ratio that triggers
+/// re-sorting the residual clause order. Below this the previous order is
+/// kept, so the sort no longer runs once per row block.
+constexpr double kResortThreshold = 0.3;
+
+void PublishScanStats(const ScanStats& s) {
+  S2_COUNTER("s2_scan_segments_total").Add(s.segments_total);
+  S2_COUNTER("s2_scan_segments_skipped_zone_total")
+      .Add(s.segments_skipped_zone);
+  S2_COUNTER("s2_scan_segments_skipped_index_total")
+      .Add(s.segments_skipped_index);
+  S2_COUNTER("s2_scan_rows_considered_total").Add(s.rows_considered);
+  S2_COUNTER("s2_scan_rows_output_total").Add(s.rows_output);
+  S2_COUNTER("s2_scan_index_filter_total").Add(s.index_filter_uses);
+  S2_COUNTER("s2_scan_encoded_filter_total").Add(s.encoded_filter_uses);
+  S2_COUNTER("s2_scan_group_filter_total").Add(s.group_filter_uses);
+  S2_COUNTER("s2_scan_regular_filter_total").Add(s.regular_filter_uses);
+  S2_COUNTER("s2_scan_reorder_sorts_total").Add(s.reorder_sorts);
 }
 
 }  // namespace
@@ -31,8 +61,15 @@ TableScanner::TableScanner(UnifiedTable* table, ScanOptions options)
   }
 }
 
+void TableScanner::FinishScan(const ScanStats& scan_stats) {
+  stats_.Merge(scan_stats);
+  PublishScanStats(scan_stats);
+}
+
 Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
                           const std::function<bool(const ScanBatch&)>& cb) {
+  S2_COUNTER("s2_scan_total").Add();
+  S2_SCOPED_TIMER("s2_scan_ns");
   bool stop = false;
   WorkerState root;
 
@@ -74,11 +111,11 @@ Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
   });
   if (!stop && !flush_batch()) stop = true;
   if (Cancelled()) {
-    stats_.Merge(root.stats);
+    FinishScan(root.stats);
     return Status::Aborted("scan cancelled");
   }
   if (stop) {
-    stats_.Merge(root.stats);
+    FinishScan(root.stats);
     return Status::OK();
   }
 
@@ -91,24 +128,24 @@ Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
                   options_.executor->num_threads() > 1 && segments.size() > 1;
   if (parallel) {
     Status s = ScanSegmentsParallel(segments, cb, root);
-    stats_.Merge(root.stats);
+    FinishScan(root.stats);
     return s;
   }
 
   BatchSink serial_sink = [&](ScanBatch&& b) { return cb(b); };
   for (const SegmentSnapshot& snap : segments) {
     if (Cancelled()) {
-      stats_.Merge(root.stats);
+      FinishScan(root.stats);
       return Status::Aborted("scan cancelled");
     }
     Status s = ScanSegment(root, snap, serial_sink, &stop);
     if (!s.ok()) {
-      stats_.Merge(root.stats);
+      FinishScan(root.stats);
       return s;
     }
     if (stop) break;
   }
-  stats_.Merge(root.stats);
+  FinishScan(root.stats);
   return Status::OK();
 }
 
@@ -267,6 +304,7 @@ Result<bool> TableScanner::IndexBaseSelection(
 Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
                                  const BatchSink& sink, bool* stop) {
   const Segment& segment = *snap.segment;
+  const ScanStats seg_before = ws.stats;  // for the per-segment trace diff
   std::vector<const FilterNode*> conjuncts;
   CollectTopLevelConjuncts(options_.filter, &conjuncts);
 
@@ -275,6 +313,8 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
     for (const FilterNode* conjunct : conjuncts) {
       if (!ZoneMapPasses(conjunct, segment)) {
         ++ws.stats.segments_skipped_zone;
+        S2_TRACE_EVENT("scan.segment", "seg=" + std::to_string(snap.id) +
+                                           " strategy=skip_zone");
         return Status::OK();
       }
     }
@@ -288,6 +328,8 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
       IndexBaseSelection(ws, segment, conjuncts, &consumed, &rows));
   if (used_index && rows.empty()) {
     ++ws.stats.segments_skipped_index;
+    S2_TRACE_EVENT("scan.segment", "seg=" + std::to_string(snap.id) +
+                                       " strategy=skip_index");
     return Status::OK();
   }
   if (!used_index) {
@@ -320,6 +362,26 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
     // selective index filter" — just run the residuals in order.
     bool skip_costing =
         used_index && rows.size() * 20 < segment.num_rows();
+    // Order conjuncts by (1 - P) / cost, descending (Section 5.2). The
+    // ratios are snapshotted at each sort; the sort re-runs only when a
+    // clause's ratio drifts materially from its snapshot, not every block.
+    auto ratio_of = [&ws](const FilterNode* n) {
+      const ClauseStats& s = ws.StatsFor(n);
+      return (1.0 - s.selectivity()) /
+             std::max(kMinCostNsPerRow, s.cost_ns_per_row);
+    };
+    std::vector<double> sorted_ratios;
+    auto resort_residual = [&] {
+      std::stable_sort(residual.begin(), residual.end(),
+                       [&](const FilterNode* a, const FilterNode* b) {
+                         return ratio_of(a) > ratio_of(b);
+                       });
+      sorted_ratios.clear();
+      for (const FilterNode* n : residual) {
+        sorted_ratios.push_back(ratio_of(n));
+      }
+      ++ws.stats.reorder_sorts;
+    };
     std::vector<uint32_t> selected;
     size_t block = options_.block_rows;
     for (size_t begin = 0; begin < rows.size() && !*stop; begin += block) {
@@ -328,17 +390,18 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
       std::vector<uint32_t> block_rows(rows.begin() + begin,
                                        rows.begin() + end);
       if (!skip_costing && options_.adaptive_reorder) {
-        // Order conjuncts by (1 - P) / cost, descending (Section 5.2).
-        std::stable_sort(residual.begin(), residual.end(),
-                         [&](const FilterNode* a, const FilterNode* b) {
-                           const ClauseStats& sa = ws.StatsFor(a);
-                           const ClauseStats& sb = ws.StatsFor(b);
-                           double ra = (1.0 - sa.selectivity()) /
-                                       std::max(1.0, sa.cost_ns_per_row);
-                           double rb = (1.0 - sb.selectivity()) /
-                                       std::max(1.0, sb.cost_ns_per_row);
-                           return ra > rb;
-                         });
+        if (sorted_ratios.empty()) {
+          resort_residual();
+        } else {
+          for (size_t i = 0; i < residual.size(); ++i) {
+            double now = ratio_of(residual[i]);
+            double ref = std::max(std::abs(sorted_ratios[i]), 1e-12);
+            if (std::abs(now - sorted_ratios[i]) / ref > kResortThreshold) {
+              resort_residual();
+              break;
+            }
+          }
+        }
       }
       // Group filter: when every residual clause is barely selective,
       // evaluating the whole condition at once avoids per-clause overhead.
@@ -397,6 +460,23 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
     rows = std::move(selected);
   }
 
+  // One trace event per scanned segment reconstructs the strategy choices
+  // (filter flavors used, reorder sorts) segment by segment in tests.
+  S2_TRACE_EVENT(
+      "scan.segment",
+      "seg=" + std::to_string(snap.id) + " rows_out=" +
+          std::to_string(rows.size()) + " index=" + (used_index ? "1" : "0") +
+          " encoded=" +
+          std::to_string(ws.stats.encoded_filter_uses -
+                         seg_before.encoded_filter_uses) +
+          " group=" +
+          std::to_string(ws.stats.group_filter_uses -
+                         seg_before.group_filter_uses) +
+          " regular=" +
+          std::to_string(ws.stats.regular_filter_uses -
+                         seg_before.regular_filter_uses) +
+          " sorts=" +
+          std::to_string(ws.stats.reorder_sorts - seg_before.reorder_sorts));
   return EmitRows(ws, snap, rows, sink, stop);
 }
 
@@ -415,9 +495,11 @@ Result<std::vector<uint32_t>> TableScanner::EvalNode(
                            const ClauseStats& sa = ws.StatsFor(a);
                            const ClauseStats& sb = ws.StatsFor(b);
                            return (1.0 - sa.selectivity()) /
-                                      std::max(1.0, sa.cost_ns_per_row) >
+                                      std::max(kMinCostNsPerRow,
+                                               sa.cost_ns_per_row) >
                                   (1.0 - sb.selectivity()) /
-                                      std::max(1.0, sb.cost_ns_per_row);
+                                      std::max(kMinCostNsPerRow,
+                                               sb.cost_ns_per_row);
                          });
       }
       for (const FilterNode* child : order) {
@@ -438,9 +520,11 @@ Result<std::vector<uint32_t>> TableScanner::EvalNode(
                            const ClauseStats& sa = ws.StatsFor(a);
                            const ClauseStats& sb = ws.StatsFor(b);
                            return sa.selectivity() /
-                                      std::max(1.0, sa.cost_ns_per_row) >
+                                      std::max(kMinCostNsPerRow,
+                                               sa.cost_ns_per_row) >
                                   sb.selectivity() /
-                                      std::max(1.0, sb.cost_ns_per_row);
+                                      std::max(kMinCostNsPerRow,
+                                               sb.cost_ns_per_row);
                          });
       }
       std::vector<uint32_t> accepted;

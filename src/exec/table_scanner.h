@@ -57,6 +57,9 @@ struct ScanStats {
   uint64_t encoded_filter_uses = 0;
   uint64_t group_filter_uses = 0;
   uint64_t regular_filter_uses = 0;
+  /// Times the residual-clause order was recomputed (the sort runs only
+  /// when clause estimates move materially, not per row block).
+  uint64_t reorder_sorts = 0;
 
   void Merge(const ScanStats& other) {
     segments_total += other.segments_total;
@@ -68,6 +71,7 @@ struct ScanStats {
     encoded_filter_uses += other.encoded_filter_uses;
     group_filter_uses += other.group_filter_uses;
     regular_filter_uses += other.regular_filter_uses;
+    reorder_sorts += other.reorder_sorts;
   }
 };
 
@@ -161,6 +165,9 @@ class TableScanner {
   Status EmitRows(WorkerState& ws, const SegmentSnapshot& snap,
                   const std::vector<uint32_t>& rows, const BatchSink& sink,
                   bool* stop);
+
+  /// Folds one scan's counters into stats_ and the process-wide registry.
+  void FinishScan(const ScanStats& scan_stats);
 
   bool Cancelled() const {
     return options_.cancel != nullptr && options_.cancel->cancelled();

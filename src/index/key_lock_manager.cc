@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/metrics.h"
+
 namespace s2 {
 
 Status KeyLockManager::LockAll(TxnId txn, std::vector<std::string> keys,
@@ -11,6 +13,7 @@ Status KeyLockManager::LockAll(TxnId txn, std::vector<std::string> keys,
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);
+  uint64_t wait_start_ns = 0;  // set on first contended wait
 
   std::unique_lock<std::mutex> lock(mu_);
   std::vector<std::string> newly_acquired;
@@ -23,13 +26,21 @@ Status KeyLockManager::LockAll(TxnId txn, std::vector<std::string> keys,
         break;
       }
       if (it->second == txn) break;  // re-entrant
+      if (wait_start_ns == 0) wait_start_ns = ScopedTimer::NowNs();
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
         // Roll back this call's acquisitions.
         for (const std::string& k : newly_acquired) owners_.erase(k);
         if (!newly_acquired.empty()) cv_.notify_all();
+        S2_COUNTER("s2_lock_timeouts_total").Add();
+        S2_HISTOGRAM("s2_lock_wait_ns")
+            .Record(ScopedTimer::NowNs() - wait_start_ns);
         return Status::Aborted("unique key lock timeout");
       }
     }
+  }
+  if (wait_start_ns != 0) {
+    S2_HISTOGRAM("s2_lock_wait_ns")
+        .Record(ScopedTimer::NowNs() - wait_start_ns);
   }
   auto& held = held_[txn];
   held.insert(held.end(), newly_acquired.begin(), newly_acquired.end());

@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace s2 {
 
@@ -57,6 +58,8 @@ Result<std::unique_ptr<PartitionLog>> PartitionLog::Open(
 }
 
 Lsn PartitionLog::Append(const LogRecord& record) {
+  S2_COUNTER("s2_log_append_total").Add();
+  S2_SCOPED_TIMER("s2_log_append_ns");
   std::lock_guard<std::mutex> lock(mu_);
   Lsn lsn = page_start_ + kPageHeaderSize + page_buf_.size();
   record.EncodeTo(&page_buf_);
@@ -70,6 +73,8 @@ Lsn PartitionLog::Append(const LogRecord& record) {
 }
 
 Status PartitionLog::Commit(TxnId txn) {
+  S2_COUNTER("s2_log_commit_total").Add();
+  S2_SCOPED_TIMER("s2_log_commit_ns");
   std::lock_guard<std::mutex> lock(mu_);
   size_t pre_marker_size = page_buf_.size();
   LogRecord rec;
@@ -90,6 +95,7 @@ Status PartitionLog::Commit(TxnId txn) {
 }
 
 void PartitionLog::Abort(TxnId txn) {
+  S2_COUNTER("s2_log_abort_total").Add();
   std::lock_guard<std::mutex> lock(mu_);
   LogRecord rec;
   rec.txn_id = txn;
@@ -115,6 +121,9 @@ Status PartitionLog::SealPageLocked() {
   }
 
   if (!page_buf_.empty()) {
+    S2_COUNTER("s2_log_seal_total").Add();
+    S2_COUNTER("s2_log_page_bytes_total").Add(page_buf_.size());
+    S2_SCOPED_TIMER("s2_log_seal_ns");
     std::string page;
     page.reserve(kPageHeaderSize + page_buf_.size());
     PutFixed32(&page, kPageMagic);

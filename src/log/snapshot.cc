@@ -7,6 +7,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace s2 {
 
@@ -33,6 +34,9 @@ Result<Lsn> SnapshotStore::ParseFileName(const std::string& name) {
 }
 
 Status SnapshotStore::Write(Lsn lsn, const std::string& state) {
+  S2_COUNTER("s2_snapshot_write_total").Add();
+  S2_COUNTER("s2_snapshot_bytes_total").Add(state.size());
+  S2_SCOPED_TIMER("s2_snapshot_write_ns");
   S2_RETURN_NOT_OK(env_->CreateDirs(dir_));
   std::string data = state;
   PutFixed32(&data, Crc32(state.data(), state.size()));

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace s2 {
 
@@ -83,6 +84,10 @@ std::vector<std::string> Partition::TableNames() const {
 TxnManager::TxnHandle Partition::Begin() { return txns_.Begin(); }
 
 Status Partition::Commit(TxnId txn) {
+  // Times the commit up to the visibility point (FinishCommit); the
+  // best-effort auto-maintenance below is not commit latency, and failed
+  // commits are not latency samples.
+  ScopedTimer commit_timer(nullptr);
   // Durability before visibility: the commit record must be replicated
   // (acked) before any version becomes visible. On failure the caller can
   // retry Commit or Abort; nothing is visible yet.
@@ -97,6 +102,7 @@ Status Partition::Commit(TxnId txn) {
     for (auto& [name, table] : tables_) table->StampCommit(txn, cts);
   }
   txns_.FinishCommit(txn, cts);
+  S2_HISTOGRAM("s2_txn_commit_ns").Record(commit_timer.ElapsedNs());
   if (options_.auto_maintain) {
     std::vector<UnifiedTable*> to_flush;
     {

@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "index/inverted_index.h"
 #include "index/postings.h"
 
@@ -791,6 +792,9 @@ Result<size_t> UnifiedTable::FlushRowstore() {
     return size_t{0};
   }
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  // Records into s2_flush_ns only on a successful flush (see the commit
+  // tail); aborted/no-op flushes are not latency samples.
+  ScopedTimer flush_timer(nullptr);
   TxnManager::TxnHandle h = txns_->Begin();
 
   // Collect committed rows visible at the flush snapshot.
@@ -884,6 +888,10 @@ Result<size_t> UnifiedTable::FlushRowstore() {
       RegisterSegment(std::move(meta), cts, /*new_sorted_run=*/true, opened));
   txns_->FinishCommit(h.id, cts);
   stats_.flushes.fetch_add(1);
+  S2_COUNTER("s2_flush_total").Add();
+  S2_COUNTER("s2_flush_rows_total").Add(rows.size());
+  S2_COUNTER("s2_flush_bytes_total").Add(file->size());
+  S2_HISTOGRAM("s2_flush_ns").Record(flush_timer.ElapsedNs());
   // Reclaim the flushed nodes once no active snapshot can still see them;
   // this is what keeps the write-optimized level 0 small.
   rowstore_->Purge(txns_->oldest_active());
@@ -892,6 +900,7 @@ Result<size_t> UnifiedTable::FlushRowstore() {
 
 Result<bool> UnifiedTable::MaybeMergeRuns() {
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  ScopedTimer merge_timer(nullptr);  // records only when a merge happened
 
   // Pick the merge inputs and snapshot their delete vectors.
   std::vector<size_t> picked;
@@ -1052,6 +1061,8 @@ Result<bool> UnifiedTable::MaybeMergeRuns() {
   for (IndexState& state : column_indexes_) state.global->Maintain();
   for (IndexState& state : tuple_indexes_) state.global->Maintain();
   stats_.merges.fetch_add(1);
+  S2_COUNTER("s2_merge_total").Add();
+  S2_HISTOGRAM("s2_merge_ns").Record(merge_timer.ElapsedNs());
   return true;
 }
 

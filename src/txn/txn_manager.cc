@@ -1,8 +1,11 @@
 #include "txn/txn_manager.h"
 
+#include "common/metrics.h"
+
 namespace s2 {
 
 TxnManager::TxnHandle TxnManager::Begin() {
+  S2_COUNTER("s2_txn_begin_total").Add();
   std::lock_guard<std::mutex> lock(mu_);
   TxnHandle handle;
   handle.id = next_txn_++;
@@ -20,6 +23,7 @@ Timestamp TxnManager::PrepareCommit(TxnId /*txn*/) {
 }
 
 void TxnManager::FinishCommit(TxnId txn, Timestamp commit_ts) {
+  S2_COUNTER("s2_txn_commit_total").Add();
   std::lock_guard<std::mutex> lock(mu_);
   committing_.erase(commit_ts);
   // Advance the watermark to just below the oldest still-stamping commit.
@@ -31,7 +35,10 @@ void TxnManager::FinishCommit(TxnId txn, Timestamp commit_ts) {
   }
 }
 
-void TxnManager::Abort(TxnId txn) { EndRead(txn); }
+void TxnManager::Abort(TxnId txn) {
+  S2_COUNTER("s2_txn_abort_total").Add();
+  EndRead(txn);
+}
 
 void TxnManager::EndRead(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);

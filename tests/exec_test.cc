@@ -6,6 +6,7 @@
 
 #include "blob/blob_store.h"
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "exec/filter.h"
 #include "exec/table_scanner.h"
@@ -344,6 +345,69 @@ TEST_F(ExecTest, RandomFilterTreesMatchBruteForce) {
     EXPECT_EQ(RunScan(options), Expected(filter.get()))
         << "trial " << trial;
   }
+}
+
+// The trace ring lets a test reconstruct which strategy the scanner picked
+// for each segment: skipped segments log strategy=skip_zone/skip_index,
+// scanned segments log a per-segment summary with rows_out.
+TEST_F(ExecTest, TraceReconstructsScanStrategyDecisions) {
+  TraceBuffer* trace = TraceBuffer::Global();
+  trace->Clear();
+  trace->set_enabled(true);
+
+  // ids are the sort key, so a tight range lets zone maps drop the
+  // segments that cannot contain ids 100..150.
+  auto filter = FilterBetween(0, Value(int64_t{100}), Value(int64_t{150}));
+  ScanOptions options;
+  options.filter = filter.get();
+  options.use_secondary_index = false;  // force the zone-map path
+  ScanStats stats;
+  auto ids = RunScan(options, &stats);
+  trace->set_enabled(false);
+
+  EXPECT_EQ(ids, Expected(filter.get()));
+  EXPECT_GT(stats.segments_skipped_zone, 0u);
+
+  size_t skip_events = 0;
+  size_t summary_events = 0;
+  for (const TraceEvent& ev : trace->Snapshot()) {
+    if (std::string(ev.category) != "scan.segment") continue;
+    if (ev.detail.find("strategy=skip_zone") != std::string::npos) {
+      ++skip_events;
+    } else if (ev.detail.find("rows_out=") != std::string::npos) {
+      ++summary_events;
+    }
+  }
+  trace->Clear();
+  EXPECT_EQ(skip_events, stats.segments_skipped_zone)
+      << "every zone-skip decision must be traceable";
+  EXPECT_GT(summary_events, 0u)
+      << "scanned segments must log a per-segment summary";
+}
+
+// The residual clause order is recomputed only when clause estimates drift
+// materially, not once per row block.
+TEST_F(ExecTest, AdaptiveReorderSortsSparingly) {
+  // Two non-indexable residual clauses (price and qty are not indexed).
+  std::vector<std::unique_ptr<FilterNode>> and_children;
+  and_children.push_back(FilterCmp(2, CmpOp::kLt, Value(350.0)));
+  and_children.push_back(FilterCmp(3, CmpOp::kGe, Value(int64_t{10})));
+  auto filter = FilterAnd(std::move(and_children));
+
+  ScanOptions options;
+  options.filter = filter.get();
+  options.block_rows = 32;  // many blocks per segment
+  ScanStats stats;
+  EXPECT_EQ(RunScan(options, &stats), Expected(filter.get()));
+  EXPECT_GE(stats.reorder_sorts, 1u)
+      << "adaptive reorder must establish an initial clause order";
+
+  ScanOptions no_adapt = options;
+  no_adapt.adaptive_reorder = false;
+  ScanStats stats_off;
+  EXPECT_EQ(RunScan(no_adapt, &stats_off), Expected(filter.get()));
+  EXPECT_EQ(stats_off.reorder_sorts, 0u)
+      << "no sorting when adaptive reorder is disabled";
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the full test suite under AddressSanitizer + UBSan and runs it via
+# ctest. Catches heap misuse and UB (signed overflow, bad shifts, misaligned
+# loads) that the plain RelWithDebInfo build would miss.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build build-asan-ubsan -j"$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+ctest --test-dir build-asan-ubsan --output-on-failure -j"$(nproc)"
+echo "asan+ubsan: all clean"
