@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "engine/database.h"
+#include "engine/system_tables.h"
 #include "workloads/tpch.h"
 
 namespace s2 {
@@ -85,6 +86,10 @@ ProductResult RunAll(const std::string& name, EngineProfile profile,
       return result;
     }
   }
+  // Introspection artifact: the loaded database's system-table snapshot
+  // (segment catalog, LSM state, cache residency) next to the timings.
+  bench::WriteBenchFile("BENCH_table2_tpch.system." + name + ".txt",
+                        SystemTables(db->cluster()).ToText());
   return result;
 }
 

@@ -62,22 +62,32 @@ class ScratchDir {
   std::string path_;
 };
 
+/// Writes `content` to a file in the current working directory (bench
+/// artifacts: CI uploads every BENCH_* file).
+inline void WriteBenchFile(const std::string& path,
+                           const std::string& content) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  fwrite(content.data(), 1, content.size(), f);
+  if (content.empty() || content.back() != '\n') fputc('\n', f);
+  fclose(f);
+  printf("Wrote %s\n", path.c_str());
+}
+
 /// Writes the bench's machine-readable summary object to BENCH_<name>.json
 /// in the current working directory, with the process-wide metrics dump
-/// embedded as a "metrics" field (spliced in before the closing brace).
-/// `summary_json` is the same one-line JSON object the bench prints.
+/// embedded as a "metrics" field (spliced in before the closing brace),
+/// plus the same dump as a Prometheus-style BENCH_<name>.metrics.prom
+/// snapshot. `summary_json` is the same one-line JSON object the bench
+/// prints.
 inline void WriteBenchJson(const std::string& name, std::string summary_json) {
   size_t brace = summary_json.rfind('}');
   if (brace == std::string::npos) return;
   summary_json.insert(brace,
                       ",\"metrics\":" + MetricsRegistry::Global()->DumpJson());
-  std::string path = "BENCH_" + name + ".json";
-  FILE* f = fopen(path.c_str(), "w");
-  if (f == nullptr) return;
-  fwrite(summary_json.data(), 1, summary_json.size(), f);
-  fputc('\n', f);
-  fclose(f);
-  printf("Wrote %s\n", path.c_str());
+  WriteBenchFile("BENCH_" + name + ".json", summary_json);
+  WriteBenchFile("BENCH_" + name + ".metrics.prom",
+                 MetricsRegistry::Global()->Dump());
 }
 
 inline void PrintHeader(const char* title) {

@@ -4,6 +4,7 @@
 
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 
 namespace s2 {
 
@@ -121,6 +122,7 @@ Result<std::shared_ptr<const std::string>> DataFileStore::Read(
     if (it != files_.end() && it->second.data != nullptr) {
       stats_.local_hits.fetch_add(1);
       S2_COUNTER("s2_cache_mem_hits_total").Add();
+      ProfileCollector::CountHere("cache_mem_hits", 1);
       TouchLocked(name, &it->second);
       return it->second.data;
     }
@@ -182,6 +184,7 @@ Result<std::shared_ptr<const std::string>> DataFileStore::FetchAndInsert(
         from_disk = true;
         stats_.local_hits.fetch_add(1);
         S2_COUNTER("s2_cache_disk_hits_total").Add();
+        ProfileCollector::CountHere("cache_disk_hits", 1);
       }
     }
   }
@@ -191,6 +194,7 @@ Result<std::shared_ptr<const std::string>> DataFileStore::FetchAndInsert(
       return Status::NotFound("no data file " + name);
     }
     S2_COUNTER("s2_cache_misses_total").Add();
+    ScopedTimer blob_timer(nullptr);
     auto fetched = blob_->Get(BlobKey(name));
     if (!fetched.ok()) {
       timer.Cancel();
@@ -198,6 +202,8 @@ Result<std::shared_ptr<const std::string>> DataFileStore::FetchAndInsert(
     }
     bytes = std::move(*fetched);
     stats_.blob_fetches.fetch_add(1);
+    ProfileCollector::CountHere("blob_fetches", 1);
+    ProfileCollector::CountHere("blob_fetch_wait_ns", blob_timer.ElapsedNs());
   }
   // A disk-recovered file may not have been uploaded before the crash;
   // probe blob existence *before* taking mu_ (the probe may be a remote

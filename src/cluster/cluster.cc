@@ -137,6 +137,10 @@ Status Cluster::Txn::Commit() {
   done_ = true;
   Status first_error;
   for (auto& [pid, handle] : handles_) {
+    ProfileScope scope(profile_,
+                       profile_ != nullptr ? profile_->root() : nullptr);
+    ProfileSpan span("commit.partition");
+    if (span.active()) span.SetDetail("p=" + std::to_string(pid));
     Status s = cluster_->partition(pid)->Commit(handle.id);
     if (!s.ok() && first_error.ok()) first_error = s;
     if (s.ok()) {
@@ -181,7 +185,8 @@ Status Cluster::InsertRows(const std::string& table,
 }
 
 Result<std::vector<Row>> Cluster::ScatterQuery(
-    const std::function<PlanPtr()>& factory, int workspace_id) {
+    const std::function<PlanPtr()>& factory, int workspace_id,
+    ProfileCollector* profile) {
   const int n = options_.num_partitions;
   // Resolve targets and instantiate per-partition plans up front, on the
   // caller's thread: the factory is caller-supplied and need not be
@@ -202,6 +207,13 @@ Result<std::vector<Row>> Cluster::ScatterQuery(
   std::vector<std::vector<Row>> results(static_cast<size_t>(n));
   CancelToken cancel;
   auto run_one = [&](size_t p) -> Status {
+    // Each partition task attaches to the profile root and opens its own
+    // child span; nested scan/segment spans land under it, and the gather
+    // step below observes one merged tree.
+    ProfileScope scope(profile,
+                       profile != nullptr ? profile->root() : nullptr);
+    ProfileSpan part_span("partition");
+    if (part_span.active()) part_span.SetDetail("p=" + std::to_string(p));
     Partition* partition = targets[p];
     QueryContext ctx;
     ctx.partition = partition;
@@ -214,6 +226,7 @@ Result<std::vector<Row>> Cluster::ScatterQuery(
     partition->EndRead(h.id);
     S2_RETURN_NOT_OK(rows.status());
     results[p] = std::move(*rows);
+    part_span.Count("rows", static_cast<int64_t>(results[p].size()));
     return Status::OK();
   };
   Executor* ex = executor_.get();
@@ -406,16 +419,52 @@ Result<std::unique_ptr<Partition>> Cluster::RestorePartitionToLsn(
                                   options_.env);
 }
 
-Status Cluster::Maintain() {
+Status Cluster::Maintain(ProfileCollector* profile) {
   const int n = options_.num_partitions;
+  auto run_one = [&](size_t p) -> Status {
+    ProfileScope scope(profile,
+                       profile != nullptr ? profile->root() : nullptr);
+    ProfileSpan span("maintain.partition");
+    if (span.active()) span.SetDetail("p=" + std::to_string(p));
+    return masters_[p]->Maintain();
+  };
   Executor* ex = executor_.get();
   if (ex->num_threads() > 1 && n > 1) {
-    return ex->ParallelFor(static_cast<size_t>(n), [&](size_t p) {
-      return masters_[p]->Maintain();
-    });
+    return ex->ParallelFor(static_cast<size_t>(n), run_one);
   }
-  for (int p = 0; p < n; ++p) S2_RETURN_NOT_OK(masters_[p]->Maintain());
+  for (int p = 0; p < n; ++p) S2_RETURN_NOT_OK(run_one(static_cast<size_t>(p)));
   return Status::OK();
+}
+
+std::vector<Cluster::ReplicaState> Cluster::ReplicaStates() const {
+  std::vector<ReplicaState> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    Lsn durable = masters_[p]->log()->durable_lsn();
+    const PartitionSite& site = sites_[p];
+    for (size_t r = 0; r < site.replicas.size(); ++r) {
+      ReplicaState rs;
+      rs.partition = p;
+      rs.node = site.replica_nodes[r];
+      rs.master_durable_lsn = durable;
+      rs.applied_lsn = site.replicas[r]->applied_lsn();
+      rs.txns_applied = site.replicas[r]->txns_applied();
+      rs.down = site.replicas[r]->down;
+      out.push_back(rs);
+    }
+    for (size_t w = 0; w < workspaces_.size(); ++w) {
+      const ReplicaPartition* replica = workspaces_[w].replicas[p].get();
+      ReplicaState rs;
+      rs.partition = p;
+      rs.workspace = static_cast<int>(w);
+      rs.master_durable_lsn = durable;
+      rs.applied_lsn = replica->applied_lsn();
+      rs.txns_applied = replica->txns_applied();
+      rs.down = replica->down;
+      out.push_back(rs);
+    }
+  }
+  return out;
 }
 
 }  // namespace s2

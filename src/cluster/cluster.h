@@ -10,6 +10,7 @@
 #include "blob/blob_store.h"
 #include "cluster/replica.h"
 #include "common/executor.h"
+#include "common/profile.h"
 #include "query/plan.h"
 #include "storage/partition.h"
 #include "storage/table_options.h"
@@ -89,11 +90,17 @@ class Cluster {
     Status Commit();
     void Abort();
 
+    /// Attaches a profile: Commit() opens one child span per partition
+    /// under the collector's root, capturing log/lock wait counters from
+    /// the layers below. Not owned; must outlive the transaction.
+    void SetProfile(ProfileCollector* profile) { profile_ = profile; }
+
    private:
     friend class Cluster;
     explicit Txn(Cluster* cluster) : cluster_(cluster) {}
     Cluster* cluster_;
     std::map<int, TxnManager::TxnHandle> handles_;
+    ProfileCollector* profile_ = nullptr;
     bool done_ = false;
   };
 
@@ -105,9 +112,12 @@ class Cluster {
 
   /// Runs `factory()`-built plans on every partition (or the given
   /// workspace's replicas) and concatenates row results — the shared-
-  /// nothing scatter phase; callers apply the gather/combine step.
+  /// nothing scatter phase; callers apply the gather/combine step. With a
+  /// profile, each partition task records a child span under the
+  /// collector's root (merged on gather into one tree).
   Result<std::vector<Row>> ScatterQuery(
-      const std::function<PlanPtr()>& factory, int workspace_id = -1);
+      const std::function<PlanPtr()>& factory, int workspace_id = -1,
+      ProfileCollector* profile = nullptr);
 
   // ----------------------------------------------------------------
   // High availability
@@ -148,8 +158,24 @@ class Cluster {
       int partition_id, Lsn lsn, const std::string& dir);
 
   /// Flush/merge/vacuum every partition; partitions run in parallel on the
-  /// cluster executor.
-  Status Maintain();
+  /// cluster executor. With a profile, each partition's maintenance task
+  /// records a child span (flush/merge spans nest under it).
+  Status Maintain(ProfileCollector* profile = nullptr);
+
+  /// Live replication state of every HA and workspace replica, for the
+  /// system-table introspection layer.
+  struct ReplicaState {
+    int partition = 0;
+    /// Hosting node for HA replicas; -1 for workspace replicas.
+    int node = -1;
+    /// Workspace id; -1 for HA replicas.
+    int workspace = -1;
+    Lsn master_durable_lsn = 0;
+    Lsn applied_lsn = 0;
+    uint64_t txns_applied = 0;
+    bool down = false;
+  };
+  std::vector<ReplicaState> ReplicaStates() const;
 
   /// The cluster-wide executor (scatter queries, parallel scans,
   /// maintenance, uploads).

@@ -104,6 +104,27 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   return slot.get();
 }
 
+std::string EscapePrometheusLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void AppendHistogramText(std::string* out, const std::string& name,
@@ -113,7 +134,8 @@ void AppendHistogramText(std::string* out, const std::string& name,
       {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
   for (const auto& [label, q] : kQuantiles) {
     snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %" PRIu64 "\n",
-             name.c_str(), label, h.Quantile(q));
+             name.c_str(), EscapePrometheusLabel(label).c_str(),
+             h.Quantile(q));
     *out += buf;
   }
   snprintf(buf, sizeof(buf),
@@ -199,7 +221,14 @@ TraceBuffer* TraceBuffer::Global() {
 void TraceBuffer::Emit(const char* category, std::string detail,
                        uint64_t start_ns, uint64_t duration_ns) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < kCapacity) ring_.resize(ring_.size() + 1);
+  if (ring_.size() < kCapacity) {
+    ring_.resize(ring_.size() + 1);
+  } else {
+    // Full ring: this emit overwrites the oldest event. Count the loss so
+    // a snapshot consumer knows the ring is a suffix of the event stream.
+    ++dropped_;
+    S2_COUNTER("s2_trace_dropped_total").Add();
+  }
   TraceEvent& slot = ring_[next_seq_ % kCapacity];
   slot.category = category;
   slot.detail = std::move(detail);
@@ -223,6 +252,12 @@ void TraceBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_seq_ = 0;
+  dropped_ = 0;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 }  // namespace s2

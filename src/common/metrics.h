@@ -113,6 +113,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double-quote and newline become \\, \" and \n.
+std::string EscapePrometheusLabel(const std::string& value);
+
 /// Records elapsed nanoseconds into a histogram at scope exit.
 class ScopedTimer {
  public:
@@ -196,11 +200,17 @@ class TraceBuffer {
   std::vector<TraceEvent> Snapshot() const;
   void Clear();
 
+  /// Events overwritten by ring wrap since the last Clear(). Also counted
+  /// in the s2_trace_dropped_total registry counter so DumpMetrics()
+  /// exposes the loss.
+  uint64_t dropped() const;
+
  private:
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;  // ring_[seq % kCapacity]
   uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 /// RAII span: emits one event with the scope's duration at destruction.

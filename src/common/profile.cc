@@ -1,0 +1,241 @@
+#include "common/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace s2 {
+
+namespace {
+
+thread_local ProfileCollector::Attachment tls_attachment;
+
+void EscapeJson(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t ProfileNode::counter(const std::string& key) const {
+  for (const auto& [k, v] : counters) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+ProfileCollector::ProfileCollector(std::string root_name) {
+  root_.name = std::move(root_name);
+  root_.start_ns = ScopedTimer::NowNs();
+}
+
+ProfileNode* ProfileCollector::StartSpan(ProfileNode* parent, std::string name,
+                                         std::string detail) {
+  auto node = std::make_unique<ProfileNode>();
+  node->name = std::move(name);
+  node->detail = std::move(detail);
+  node->start_ns = ScopedTimer::NowNs();
+  ProfileNode* raw = node.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  parent->children.push_back(std::move(node));
+  return raw;
+}
+
+void ProfileCollector::FinishSpan(ProfileNode* node) {
+  uint64_t now = ScopedTimer::NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  node->duration_ns = now - node->start_ns;
+}
+
+void ProfileCollector::AddCounter(ProfileNode* node, const std::string& key,
+                                  int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, v] : node->counters) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  node->counters.emplace_back(key, delta);
+}
+
+void ProfileCollector::SetDetail(ProfileNode* node, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node->detail = std::move(detail);
+}
+
+void ProfileCollector::AppendDetail(ProfileNode* node,
+                                    const std::string& more) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node->detail += more;
+}
+
+void ProfileCollector::RenderText(const ProfileNode& node, int depth,
+                                  std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name;
+  if (!node.detail.empty()) {
+    *out += ' ';
+    *out += node.detail;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), " %.3fms",
+           static_cast<double>(node.duration_ns) / 1e6);
+  *out += buf;
+  for (const auto& [k, v] : node.counters) {
+    snprintf(buf, sizeof(buf), " %" PRId64, v);
+    *out += ' ';
+    *out += k;
+    *out += '=';
+    *out += buf + 1;  // skip the leading space from snprintf
+  }
+  *out += '\n';
+  for (const auto& child : node.children) {
+    RenderText(*child, depth + 1, out);
+  }
+}
+
+std::string ProfileCollector::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  RenderText(root_, 0, &out);
+  return out;
+}
+
+void ProfileCollector::RenderJson(const ProfileNode& node,
+                                  std::string* out) const {
+  *out += "{\"name\":\"";
+  EscapeJson(node.name, out);
+  *out += "\",\"detail\":\"";
+  EscapeJson(node.detail, out);
+  char buf[64];
+  snprintf(buf, sizeof(buf), "\",\"duration_ns\":%" PRIu64, node.duration_ns);
+  *out += buf;
+  *out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : node.counters) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    EscapeJson(k, out);
+    snprintf(buf, sizeof(buf), "\":%" PRId64, v);
+    *out += buf;
+  }
+  *out += "},\"children\":[";
+  first = true;
+  for (const auto& child : node.children) {
+    if (!first) *out += ',';
+    first = false;
+    RenderJson(*child, out);
+  }
+  *out += "]}";
+}
+
+std::string ProfileCollector::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  RenderJson(root_, &out);
+  return out;
+}
+
+namespace {
+
+int64_t SumCounter(const ProfileNode& node, const std::string& key) {
+  int64_t total = node.counter(key);
+  for (const auto& child : node.children) total += SumCounter(*child, key);
+  return total;
+}
+
+void CollectByName(const ProfileNode& node, const std::string& name,
+                   std::vector<const ProfileNode*>* out) {
+  if (node.name == name) out->push_back(&node);
+  for (const auto& child : node.children) CollectByName(*child, name, out);
+}
+
+}  // namespace
+
+int64_t ProfileCollector::TotalCounter(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SumCounter(root_, key);
+}
+
+std::vector<const ProfileNode*> ProfileCollector::FindAll(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const ProfileNode*> out;
+  CollectByName(root_, name, &out);
+  return out;
+}
+
+ProfileCollector::Attachment ProfileCollector::Current() {
+  return tls_attachment;
+}
+
+void ProfileCollector::Attach(const Attachment& a) { tls_attachment = a; }
+
+void ProfileCollector::CountHere(const std::string& key, int64_t delta) {
+  const Attachment& a = tls_attachment;
+  if (a.collector == nullptr) return;
+  a.collector->AddCounter(a.node, key, delta);
+}
+
+ProfileScope::ProfileScope(ProfileCollector* collector, ProfileNode* node) {
+  prev_ = ProfileCollector::Current();
+  ProfileCollector::Attach({collector, collector != nullptr ? node : nullptr});
+}
+
+ProfileScope::~ProfileScope() { ProfileCollector::Attach(prev_); }
+
+ProfileSpan::ProfileSpan(const char* name, std::string detail) {
+  prev_ = ProfileCollector::Current();
+  if (prev_.collector == nullptr) return;
+  collector_ = prev_.collector;
+  node_ = collector_->StartSpan(prev_.node, name, std::move(detail));
+  ProfileCollector::Attach({collector_, node_});
+}
+
+ProfileSpan::~ProfileSpan() {
+  if (node_ == nullptr) return;
+  collector_->FinishSpan(node_);
+  ProfileCollector::Attach(prev_);
+}
+
+void ProfileSpan::Count(const std::string& key, int64_t delta) {
+  if (node_ != nullptr) collector_->AddCounter(node_, key, delta);
+}
+
+void ProfileSpan::SetDetail(std::string detail) {
+  if (node_ != nullptr) collector_->SetDetail(node_, std::move(detail));
+}
+
+void ProfileSpan::AppendDetail(const std::string& more) {
+  if (node_ != nullptr) collector_->AppendDetail(node_, more);
+}
+
+}  // namespace s2

@@ -1,0 +1,152 @@
+#ifndef S2_COMMON_PROFILE_H_
+#define S2_COMMON_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace s2 {
+
+/// One timed span in a query profile tree: a name ("partition", "scan",
+/// "segment", ...), an optional detail string (strategy decisions, ids),
+/// wall time, counters attributed to the span, and child spans.
+struct ProfileNode {
+  std::string name;
+  std::string detail;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Insertion-ordered (key, value) pairs; repeated Add calls to the same
+  /// key accumulate into one entry.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  /// Value of a counter, 0 when absent.
+  int64_t counter(const std::string& key) const;
+};
+
+/// A per-query (or per-maintenance-round) profile: a mutex-guarded tree of
+/// ProfileNodes. One collector is created per profiled operation and
+/// threaded through the layers via thread-local attachment (see
+/// ProfileScope / ProfileSpan below), so deep layers — the data-file
+/// cache, the lock manager, the log commit — can attribute their costs to
+/// the active span without any signature changes along the way.
+///
+/// Thread model: Start/Finish/AddCounter take the collector mutex, so
+/// spans may be opened concurrently from scatter-gather workers; child
+/// pointers stay stable (children are heap nodes). Rendering (ToText /
+/// ToJson) also locks, but meaningful output requires the collection to
+/// have quiesced — callers render after the profiled operation returns.
+class ProfileCollector {
+ public:
+  /// The collector starts with an open root span named `root_name`; call
+  /// FinishRoot() (or FinishSpan(root())) when the operation completes.
+  explicit ProfileCollector(std::string root_name);
+
+  ProfileNode* root() { return &root_; }
+  const ProfileNode* root() const { return &root_; }
+
+  /// Opens a child span under `parent` and returns it.
+  ProfileNode* StartSpan(ProfileNode* parent, std::string name,
+                         std::string detail = std::string());
+  /// Stamps the span's duration.
+  void FinishSpan(ProfileNode* node);
+  void FinishRoot() { FinishSpan(&root_); }
+
+  void AddCounter(ProfileNode* node, const std::string& key, int64_t delta);
+  void SetDetail(ProfileNode* node, std::string detail);
+  void AppendDetail(ProfileNode* node, const std::string& more);
+
+  /// Pretty-printed tree: one line per span with duration and counters.
+  std::string ToText() const;
+  /// The tree as nested JSON objects.
+  std::string ToJson() const;
+
+  /// Sum of counter `key` over the whole tree (tests).
+  int64_t TotalCounter(const std::string& key) const;
+  /// Every node with the given span name, preorder (tests). Pointers are
+  /// valid while the collector is alive and collection has quiesced.
+  std::vector<const ProfileNode*> FindAll(const std::string& name) const;
+
+  // ------------------------------------------------------------------
+  // Thread-local ambient attachment
+  // ------------------------------------------------------------------
+
+  struct Attachment {
+    ProfileCollector* collector = nullptr;
+    ProfileNode* node = nullptr;
+  };
+
+  /// The (collector, current span) the calling thread is attached to;
+  /// {nullptr, nullptr} when profiling is off for this thread.
+  static Attachment Current();
+
+  /// Adds to a counter on the calling thread's current span; no-op when
+  /// the thread is not attached. This is the hook deep layers use.
+  static void CountHere(const std::string& key, int64_t delta);
+
+ private:
+  friend class ProfileScope;
+  friend class ProfileSpan;
+
+  static void Attach(const Attachment& a);
+
+  void RenderText(const ProfileNode& node, int depth, std::string* out) const;
+  void RenderJson(const ProfileNode& node, std::string* out) const;
+
+  mutable std::mutex mu_;
+  ProfileNode root_;
+};
+
+/// Attaches (collector, node) to the calling thread for the scope's
+/// lifetime, restoring the previous attachment at exit. Used at executor
+/// fan-out points: a worker task re-attaches to the parent span captured
+/// on the submitting thread. Always restores — pool threads are reused, so
+/// a leaked attachment would dangle into unrelated tasks. A null collector
+/// detaches (spans inside become no-ops).
+class ProfileScope {
+ public:
+  ProfileScope(ProfileCollector* collector, ProfileNode* node);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfileCollector::Attachment prev_;
+};
+
+/// RAII child span of the calling thread's current span. When the thread
+/// is not attached, construction is a thread-local load and nothing else —
+/// profiling off costs nothing on these paths. While alive, the span is
+/// the thread's current node, so nested ProfileSpans and CountHere calls
+/// land under it.
+class ProfileSpan {
+ public:
+  explicit ProfileSpan(const char* name,
+                       std::string detail = std::string());
+  ~ProfileSpan();
+
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+  /// Whether this span is recording (thread was attached). Callers gate
+  /// detail-string construction on this to keep the off path free.
+  bool active() const { return node_ != nullptr; }
+  ProfileNode* node() { return node_; }
+
+  void Count(const std::string& key, int64_t delta);
+  void SetDetail(std::string detail);
+  void AppendDetail(const std::string& more);
+
+ private:
+  ProfileCollector* collector_ = nullptr;
+  ProfileNode* node_ = nullptr;
+  ProfileCollector::Attachment prev_;
+};
+
+}  // namespace s2
+
+#endif  // S2_COMMON_PROFILE_H_

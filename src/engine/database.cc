@@ -55,6 +55,50 @@ Status Database::Insert(const std::string& table, const std::vector<Row>& rows,
   return cluster_->InsertRows(table, rows, policy);
 }
 
+Result<std::vector<Row>> Database::Query(
+    const std::function<PlanPtr()>& factory, int workspace) {
+  if (options_.slow_query_ns == 0) {
+    return cluster_->ScatterQuery(factory, workspace);
+  }
+  Result<QueryProfile> profiled = RunProfiled(factory, workspace);
+  S2_RETURN_NOT_OK(profiled.status());
+  return std::move(profiled->rows);
+}
+
+Result<QueryProfile> Database::Profile(
+    const std::function<PlanPtr()>& factory, int workspace) {
+  return RunProfiled(factory, workspace);
+}
+
+Result<QueryProfile> Database::RunProfiled(
+    const std::function<PlanPtr()>& factory, int workspace) {
+  QueryProfile out;
+  out.tree = std::make_shared<ProfileCollector>("query");
+  Result<std::vector<Row>> rows =
+      cluster_->ScatterQuery(factory, workspace, out.tree.get());
+  out.tree->FinishRoot();
+  out.wall_ns = out.tree->root()->duration_ns;
+  S2_HISTOGRAM("s2_query_ns").Record(out.wall_ns);
+  S2_RETURN_NOT_OK(rows.status());
+  out.rows = std::move(*rows);
+  out.tree->AddCounter(out.tree->root(), "rows",
+                       static_cast<int64_t>(out.rows.size()));
+  if (options_.slow_query_ns != 0 && out.wall_ns >= options_.slow_query_ns) {
+    S2_COUNTER("s2_slow_queries_total").Add();
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_ring_.push_back({++slow_seq_, out.wall_ns, out.tree});
+    while (slow_ring_.size() > options_.slow_query_capacity) {
+      slow_ring_.pop_front();
+    }
+  }
+  return out;
+}
+
+std::vector<SlowQuery> Database::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_ring_.begin(), slow_ring_.end()};
+}
+
 std::string Database::DumpMetrics() {
   return MetricsRegistry::Global()->Dump();
 }

@@ -1,11 +1,14 @@
 #ifndef S2_ENGINE_DATABASE_H_
 #define S2_ENGINE_DATABASE_H_
 
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/profile.h"
 #include "query/plan.h"
 #include "storage/table_options.h"
 
@@ -48,6 +51,32 @@ struct DatabaseOptions {
   /// Filesystem for all local state. Not owned; null = Env::Default().
   /// Crash tests inject a FaultInjectionEnv.
   Env* env = nullptr;
+  /// Queries slower than this wall time are profiled and retained in the
+  /// slow-query ring (see Database::SlowQueries). 0 disables the log and
+  /// keeps unprofiled Query() calls overhead-free.
+  uint64_t slow_query_ns = 0;
+  /// Bounded retention for the slow-query ring (oldest dropped first).
+  size_t slow_query_capacity = 32;
+};
+
+/// A query result plus its profile tree (see Database::Profile).
+struct QueryProfile {
+  std::vector<Row> rows;
+  /// Root span "query"; per-partition children carry scan/segment spans
+  /// with strategy decisions and cache/lock/commit wait counters.
+  std::shared_ptr<ProfileCollector> tree;
+  uint64_t wall_ns = 0;
+
+  std::string ToText() const { return tree ? tree->ToText() : std::string(); }
+  std::string ToJson() const { return tree ? tree->ToJson() : "{}"; }
+};
+
+/// One retained slow query: monotonic sequence number, wall time, and the
+/// full profile tree captured while it ran.
+struct SlowQuery {
+  uint64_t seq = 0;
+  uint64_t wall_ns = 0;
+  std::shared_ptr<ProfileCollector> tree;
 };
 
 /// The public façade: open a database, create tables, write rows, run
@@ -73,11 +102,22 @@ class Database {
 
   /// Scatter phase of a query: runs `factory()`-built plans on every
   /// partition (workspace >= 0 targets a read-only workspace) and
-  /// concatenates rows; the caller applies the gather/combine step.
+  /// concatenates rows; the caller applies the gather/combine step. With
+  /// slow_query_ns set, the query runs under a profile collector and is
+  /// retained in the slow-query ring when it exceeds the threshold.
   Result<std::vector<Row>> Query(const std::function<PlanPtr()>& factory,
-                                 int workspace = -1) {
-    return cluster_->ScatterQuery(factory, workspace);
-  }
+                                 int workspace = -1);
+
+  /// Runs the query under a ProfileCollector and returns rows plus the
+  /// span tree: per-partition children (merged on gather), scan/segment
+  /// spans with skip/strategy decisions, rows scanned vs skipped, cache
+  /// hits vs blob fetches, lock and commit wait time.
+  Result<QueryProfile> Profile(const std::function<PlanPtr()>& factory,
+                               int workspace = -1);
+
+  /// Snapshot of the slow-query ring, oldest first (see
+  /// DatabaseOptions::slow_query_ns).
+  std::vector<SlowQuery> SlowQueries() const;
 
   /// Snapshot + upload everything to blob storage.
   Status Checkpoint() { return cluster_->UploadAllToBlob(); }
@@ -100,8 +140,17 @@ class Database {
  private:
   explicit Database(DatabaseOptions options);
 
+  /// Shared implementation of Query-with-threshold and Profile: runs the
+  /// scatter under a collector, stamps the root, and feeds the slow ring.
+  Result<QueryProfile> RunProfiled(const std::function<PlanPtr()>& factory,
+                                   int workspace);
+
   DatabaseOptions options_;
   std::unique_ptr<Cluster> cluster_;
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQuery> slow_ring_;  // guarded by slow_mu_
+  uint64_t slow_seq_ = 0;            // guarded by slow_mu_
 };
 
 }  // namespace s2

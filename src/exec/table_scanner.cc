@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "index/inverted_index.h"
 #include "index/postings.h"
 
@@ -64,12 +65,41 @@ TableScanner::TableScanner(UnifiedTable* table, ScanOptions options)
 void TableScanner::FinishScan(const ScanStats& scan_stats) {
   stats_.Merge(scan_stats);
   PublishScanStats(scan_stats);
+  // Attribute this scan's counters to the ambient profile span (the scan
+  // span opened in Scan() is still the current node at every call site).
+  if (ProfileCollector::Current().collector != nullptr) {
+    const ScanStats& s = scan_stats;
+    ProfileCollector::CountHere("segments",
+                                static_cast<int64_t>(s.segments_total));
+    ProfileCollector::CountHere(
+        "segments_skipped_zone",
+        static_cast<int64_t>(s.segments_skipped_zone));
+    ProfileCollector::CountHere(
+        "segments_skipped_index",
+        static_cast<int64_t>(s.segments_skipped_index));
+    ProfileCollector::CountHere("rows_considered",
+                                static_cast<int64_t>(s.rows_considered));
+    ProfileCollector::CountHere("rows_output",
+                                static_cast<int64_t>(s.rows_output));
+    ProfileCollector::CountHere("index_filter_uses",
+                                static_cast<int64_t>(s.index_filter_uses));
+    ProfileCollector::CountHere("encoded_filter_uses",
+                                static_cast<int64_t>(s.encoded_filter_uses));
+    ProfileCollector::CountHere("group_filter_uses",
+                                static_cast<int64_t>(s.group_filter_uses));
+    ProfileCollector::CountHere("regular_filter_uses",
+                                static_cast<int64_t>(s.regular_filter_uses));
+    ProfileCollector::CountHere("reorder_sorts",
+                                static_cast<int64_t>(s.reorder_sorts));
+  }
 }
 
 Status TableScanner::Scan(TxnId txn, Timestamp read_ts,
                           const std::function<bool(const ScanBatch&)>& cb) {
   S2_COUNTER("s2_scan_total").Add();
   S2_SCOPED_TIMER("s2_scan_ns");
+  ProfileSpan scan_span("scan");
+  if (scan_span.active()) scan_span.SetDetail("table=" + table_->name());
   bool stop = false;
   WorkerState root;
 
@@ -169,9 +199,13 @@ Status TableScanner::ScanSegmentsParallel(
   size_t next_emit = 0;
   std::atomic<bool> hard_stop{false};  // LIMIT hit or delivered error
 
+  // Morsel workers run on pool threads; re-attach them to the scan span so
+  // their per-segment profile nodes land under it.
+  ProfileCollector::Attachment att = ProfileCollector::Current();
   Status s = options_.executor->ParallelFor(
       workers,
       [&](size_t w) -> Status {
+        ProfileScope profile_scope(att.collector, att.node);
         WorkerState& ws = states[w];
         size_t begin = w * num_segments / workers;
         size_t end = (w + 1) * num_segments / workers;
@@ -305,6 +339,16 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
                                  const BatchSink& sink, bool* stop) {
   const Segment& segment = *snap.segment;
   const ScanStats seg_before = ws.stats;  // for the per-segment trace diff
+  // The per-segment profile node and trace event share one detail string,
+  // so the tree and the trace ring report identical strategy decisions.
+  ProfileSpan seg_span("segment");
+  const bool annotate = seg_span.active() || TraceBuffer::Global()->enabled();
+  auto record_decision = [&seg_span](std::string d) {
+    if (TraceBuffer::Global()->enabled()) {
+      TraceBuffer::Global()->Emit("scan.segment", d, ScopedTimer::NowNs(), 0);
+    }
+    if (seg_span.active()) seg_span.SetDetail(std::move(d));
+  };
   std::vector<const FilterNode*> conjuncts;
   CollectTopLevelConjuncts(options_.filter, &conjuncts);
 
@@ -313,8 +357,10 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
     for (const FilterNode* conjunct : conjuncts) {
       if (!ZoneMapPasses(conjunct, segment)) {
         ++ws.stats.segments_skipped_zone;
-        S2_TRACE_EVENT("scan.segment", "seg=" + std::to_string(snap.id) +
-                                           " strategy=skip_zone");
+        if (annotate) {
+          record_decision("seg=" + std::to_string(snap.id) +
+                          " strategy=skip_zone");
+        }
         return Status::OK();
       }
     }
@@ -328,8 +374,10 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
       IndexBaseSelection(ws, segment, conjuncts, &consumed, &rows));
   if (used_index && rows.empty()) {
     ++ws.stats.segments_skipped_index;
-    S2_TRACE_EVENT("scan.segment", "seg=" + std::to_string(snap.id) +
-                                       " strategy=skip_index");
+    if (annotate) {
+      record_decision("seg=" + std::to_string(snap.id) +
+                      " strategy=skip_index");
+    }
     return Status::OK();
   }
   if (!used_index) {
@@ -460,23 +508,26 @@ Status TableScanner::ScanSegment(WorkerState& ws, const SegmentSnapshot& snap,
     rows = std::move(selected);
   }
 
-  // One trace event per scanned segment reconstructs the strategy choices
-  // (filter flavors used, reorder sorts) segment by segment in tests.
-  S2_TRACE_EVENT(
-      "scan.segment",
-      "seg=" + std::to_string(snap.id) + " rows_out=" +
-          std::to_string(rows.size()) + " index=" + (used_index ? "1" : "0") +
-          " encoded=" +
-          std::to_string(ws.stats.encoded_filter_uses -
-                         seg_before.encoded_filter_uses) +
-          " group=" +
-          std::to_string(ws.stats.group_filter_uses -
-                         seg_before.group_filter_uses) +
-          " regular=" +
-          std::to_string(ws.stats.regular_filter_uses -
-                         seg_before.regular_filter_uses) +
-          " sorts=" +
-          std::to_string(ws.stats.reorder_sorts - seg_before.reorder_sorts));
+  // One decision record per scanned segment reconstructs the strategy
+  // choices (filter flavors used, reorder sorts) segment by segment, both
+  // in the trace ring and on the segment's profile node.
+  if (annotate) {
+    record_decision(
+        "seg=" + std::to_string(snap.id) + " rows_out=" +
+        std::to_string(rows.size()) + " index=" + (used_index ? "1" : "0") +
+        " encoded=" +
+        std::to_string(ws.stats.encoded_filter_uses -
+                       seg_before.encoded_filter_uses) +
+        " group=" +
+        std::to_string(ws.stats.group_filter_uses -
+                       seg_before.group_filter_uses) +
+        " regular=" +
+        std::to_string(ws.stats.regular_filter_uses -
+                       seg_before.regular_filter_uses) +
+        " sorts=" +
+        std::to_string(ws.stats.reorder_sorts - seg_before.reorder_sorts));
+  }
+  seg_span.Count("rows_out", static_cast<int64_t>(rows.size()));
   return EmitRows(ws, snap, rows, sink, stop);
 }
 

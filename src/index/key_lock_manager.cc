@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/metrics.h"
+#include "common/profile.h"
 
 namespace s2 {
 
@@ -34,6 +35,9 @@ Status KeyLockManager::LockAll(TxnId txn, std::vector<std::string> keys,
         S2_COUNTER("s2_lock_timeouts_total").Add();
         S2_HISTOGRAM("s2_lock_wait_ns")
             .Record(ScopedTimer::NowNs() - wait_start_ns);
+        ProfileCollector::CountHere(
+            "lock_wait_ns",
+            static_cast<int64_t>(ScopedTimer::NowNs() - wait_start_ns));
         return Status::Aborted("unique key lock timeout");
       }
     }
@@ -41,6 +45,9 @@ Status KeyLockManager::LockAll(TxnId txn, std::vector<std::string> keys,
   if (wait_start_ns != 0) {
     S2_HISTOGRAM("s2_lock_wait_ns")
         .Record(ScopedTimer::NowNs() - wait_start_ns);
+    ProfileCollector::CountHere(
+        "lock_wait_ns",
+        static_cast<int64_t>(ScopedTimer::NowNs() - wait_start_ns));
   }
   auto& held = held_[txn];
   held.insert(held.end(), newly_acquired.begin(), newly_acquired.end());

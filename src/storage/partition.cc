@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 
 namespace s2 {
 
@@ -91,7 +92,13 @@ Status Partition::Commit(TxnId txn) {
   // Durability before visibility: the commit record must be replicated
   // (acked) before any version becomes visible. On failure the caller can
   // retry Commit or Abort; nothing is visible yet.
-  S2_RETURN_NOT_OK(log_->Commit(txn));
+  {
+    ScopedTimer log_timer(nullptr);
+    Status s = log_->Commit(txn);
+    ProfileCollector::CountHere("log_commit_wait_ns",
+                                static_cast<int64_t>(log_timer.ElapsedNs()));
+    S2_RETURN_NOT_OK(s);
+  }
   if (options_.sync_blob_commit && options_.blob != nullptr) {
     // CDW baseline: pay the blob round-trip on the commit path.
     S2_RETURN_NOT_OK(UploadToBlob());
@@ -103,6 +110,8 @@ Status Partition::Commit(TxnId txn) {
   }
   txns_.FinishCommit(txn, cts);
   S2_HISTOGRAM("s2_txn_commit_ns").Record(commit_timer.ElapsedNs());
+  ProfileCollector::CountHere("commit_wait_ns",
+                              static_cast<int64_t>(commit_timer.ElapsedNs()));
   if (options_.auto_maintain) {
     std::vector<UnifiedTable*> to_flush;
     {
@@ -155,8 +164,12 @@ Status Partition::MaintainTables(const std::vector<UnifiedTable*>& tables,
   if (ex != nullptr && ex->num_threads() > 1 && tables.size() > 1) {
     // Tables are independent (each flush/merge serializes internally on
     // the table's own maintenance mutex; log appends serialize in the
-    // log), so their maintenance can proceed concurrently.
+    // log), so their maintenance can proceed concurrently. Workers
+    // re-attach to this thread's profile span so flush/merge spans from
+    // pool threads land under the partition's maintenance node.
+    ProfileCollector::Attachment att = ProfileCollector::Current();
     return ex->ParallelFor(tables.size(), [&](size_t i) {
+      ProfileScope profile_scope(att.collector, att.node);
       return maintain_one(tables[i]);
     });
   }

@@ -8,6 +8,7 @@
 #include "common/coding.h"
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "index/inverted_index.h"
 #include "index/postings.h"
 
@@ -677,6 +678,47 @@ size_t UnifiedTable::NumSegments() const {
   return n;
 }
 
+std::vector<UnifiedTable::SegmentDebugInfo> UnifiedTable::DebugSegments()
+    const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<SegmentDebugInfo> out;
+  out.reserve(segments_.size());
+  for (const auto& [id, entry] : segments_) {
+    SegmentDebugInfo info;
+    info.id = id;
+    info.file_name = entry.meta.file_name;
+    info.num_rows = entry.meta.num_rows;
+    info.deleted_rows = entry.meta.num_rows - entry.meta.live_rows();
+    info.live = entry.dropped_ts == kTsMax;
+    info.created_ts = entry.created_ts;
+    for (size_t c = 0; c < entry.meta.stats.size(); ++c) {
+      if (c > 0) info.min_max += ';';
+      const ColumnStats& s = entry.meta.stats[c];
+      info.min_max += s.min.ToString() + ".." + s.max.ToString();
+    }
+    if (entry.segment != nullptr) {
+      for (size_t c = 0; c < entry.segment->num_columns(); ++c) {
+        Result<const ColumnReader*> reader = entry.segment->column(c);
+        if (!reader.ok()) continue;
+        if (!info.encodings.empty()) info.encodings += ',';
+        info.encodings += EncodingName((*reader)->encoding());
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<UnifiedTable::RunDebugInfo> UnifiedTable::DebugRuns() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<RunDebugInfo> out;
+  out.reserve(runs_.size());
+  for (const SortedRun& run : runs_) {
+    out.push_back({run.segment_ids.size(), run.total_rows});
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Maintenance
 // ---------------------------------------------------------------------------
@@ -792,6 +834,8 @@ Result<size_t> UnifiedTable::FlushRowstore() {
     return size_t{0};
   }
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  ProfileSpan flush_span("flush");
+  if (flush_span.active()) flush_span.SetDetail("table=" + name_);
   // Records into s2_flush_ns only on a successful flush (see the commit
   // tail); aborted/no-op flushes are not latency samples.
   ScopedTimer flush_timer(nullptr);
@@ -892,6 +936,8 @@ Result<size_t> UnifiedTable::FlushRowstore() {
   S2_COUNTER("s2_flush_rows_total").Add(rows.size());
   S2_COUNTER("s2_flush_bytes_total").Add(file->size());
   S2_HISTOGRAM("s2_flush_ns").Record(flush_timer.ElapsedNs());
+  flush_span.Count("rows", static_cast<int64_t>(rows.size()));
+  flush_span.Count("bytes", static_cast<int64_t>(file->size()));
   // Reclaim the flushed nodes once no active snapshot can still see them;
   // this is what keeps the write-optimized level 0 small.
   rowstore_->Purge(txns_->oldest_active());
@@ -900,6 +946,8 @@ Result<size_t> UnifiedTable::FlushRowstore() {
 
 Result<bool> UnifiedTable::MaybeMergeRuns() {
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  ProfileSpan merge_span("merge");
+  if (merge_span.active()) merge_span.SetDetail("table=" + name_);
   ScopedTimer merge_timer(nullptr);  // records only when a merge happened
 
   // Pick the merge inputs and snapshot their delete vectors.
@@ -1063,6 +1111,8 @@ Result<bool> UnifiedTable::MaybeMergeRuns() {
   stats_.merges.fetch_add(1);
   S2_COUNTER("s2_merge_total").Add();
   S2_HISTOGRAM("s2_merge_ns").Record(merge_timer.ElapsedNs());
+  merge_span.Count("segments_in", static_cast<int64_t>(old_ids.size()));
+  merge_span.Count("segments_out", static_cast<int64_t>(new_metas.size()));
   return true;
 }
 

@@ -137,6 +137,32 @@ class UnifiedTable {
   size_t RowstoreRows() const { return rowstore_->num_nodes(); }
 
   // ------------------------------------------------------------------
+  // Introspection (the engine's SystemTables layer renders these)
+  // ------------------------------------------------------------------
+
+  /// One catalog row per known segment (live and recently merged-away):
+  /// metadata the zone maps use plus, when the segment file is open, its
+  /// per-column encodings.
+  struct SegmentDebugInfo {
+    uint64_t id = 0;
+    std::string file_name;
+    uint32_t num_rows = 0;
+    uint32_t deleted_rows = 0;
+    bool live = true;  // false once merged away (awaiting vacuum)
+    Timestamp created_ts = 0;
+    std::string min_max;    // per-column "min..max" joined with ';'
+    std::string encodings;  // per-column encodings when open, else empty
+  };
+  std::vector<SegmentDebugInfo> DebugSegments() const;
+
+  /// Shape of the sorted-run tree (LSM state above level 0).
+  struct RunDebugInfo {
+    size_t num_segments = 0;
+    uint64_t total_rows = 0;
+  };
+  std::vector<RunDebugInfo> DebugRuns() const;
+
+  // ------------------------------------------------------------------
   // Maintenance (autonomous transactions)
   // ------------------------------------------------------------------
 

@@ -193,5 +193,41 @@ TEST_F(MetricsTest, TraceRingWrapsKeepingNewest) {
   EXPECT_EQ(events.back().detail, std::to_string(total - 1));
 }
 
+TEST_F(MetricsTest, TraceRingCountsDrops) {
+  TraceBuffer::Global()->set_enabled(true);
+  EXPECT_EQ(TraceBuffer::Global()->dropped(), 0u);
+  for (size_t i = 0; i < TraceBuffer::kCapacity + 37; ++i) {
+    TraceBuffer::Global()->Emit("drop", "", i, 0);
+  }
+  EXPECT_EQ(TraceBuffer::Global()->dropped(), 37u);
+  // The loss is also visible in the metrics dump.
+  EXPECT_EQ(
+      MetricsRegistry::Global()->counter("s2_trace_dropped_total")->value(),
+      37u);
+  EXPECT_NE(MetricsRegistry::Global()->Dump().find("s2_trace_dropped_total"),
+            std::string::npos);
+  TraceBuffer::Global()->Clear();
+  EXPECT_EQ(TraceBuffer::Global()->dropped(), 0u);
+}
+
+TEST_F(MetricsTest, EmptyHistogramQuantileIsZero) {
+  Histogram* h = MetricsRegistry::Global()->histogram("empty_ns");
+  EXPECT_EQ(h->count(), 0u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h->Quantile(q), 0u) << "q=" << q;
+  }
+  h->Record(500);
+  h->Reset();
+  EXPECT_EQ(h->Quantile(0.5), 0u) << "reset histogram reads as empty";
+}
+
+TEST_F(MetricsTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(EscapePrometheusLabel("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapePrometheusLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePrometheusLabel("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapePrometheusLabel("\\\"\n"), "\\\\\\\"\\n");
+}
+
 }  // namespace
 }  // namespace s2
