@@ -79,8 +79,15 @@ int main() {
          "inserts per engine\n\n",
          static_cast<unsigned long long>(blob_us), commits);
 
+  // Commit-latency history per phase (the s2_txn_commit_ns series shows
+  // each engine's latency distribution separately instead of one blended
+  // end-of-run summary).
+  MonitorService monitor;
+  monitor.TickOnce();
   auto async = RunCommits(EngineProfile::kUnified, blob_us, commits);
+  monitor.TickOnce();
   auto sync = RunCommits(EngineProfile::kCloudWarehouse, blob_us, commits);
+  monitor.TickOnce();
 
   printf("%-28s %12s %12s %12s %18s\n", "Engine", "avg (us)", "p50 (us)",
          "p99 (us)", "blob PUTs inline");
@@ -109,5 +116,6 @@ int main() {
            static_cast<unsigned long long>(sync.blob_puts_during_commits));
   printf("\n%s\n", json);
   bench::WriteBenchJson("ablation_commit_path", json);
+  bench::WriteBenchMonitorHistory("ablation_commit_path", monitor);
   return 0;
 }

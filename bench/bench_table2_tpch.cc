@@ -101,16 +101,25 @@ int main() {
   double sf = bench::EnvDouble("S2_BENCH_TPCH_SF", 0.01);
   PrintHeader("Table 2: TPC-H summary (scaled down)");
 
+  // Per-phase metric history: one sample before the runs and one after
+  // each product, written next to the end-of-run metric averages.
+  MonitorService monitor;
+  monitor.TickOnce();
+
   // Cluster prices mirror the paper's near-equal configurations
   // ($16.50 / $16.00 / $16.30 / $13.92 per hour).
   auto s2db = RunAll("S2DB", EngineProfile::kUnified, 16.50, sf, 0);
+  monitor.TickOnce();
   // CDW1/CDW2: same warehouse profile with slightly different scan tuning
   // stands in for two vendors (both lack the OLTP machinery).
   auto cdw1 = RunAll("CDW1", EngineProfile::kCloudWarehouse, 16.00, sf, 0);
+  monitor.TickOnce();
   auto cdw2 = RunAll("CDW2", EngineProfile::kCloudWarehouse, 16.30, sf, 0);
+  monitor.TickOnce();
   // CDB: rowstore engine; allowed 50x the warm budget before being called
   // DNF (the paper gave it 24 hours vs ~5 minutes).
   auto cdb = RunAll("CDB", EngineProfile::kOperationalRowstore, 13.92, sf, 50);
+  monitor.TickOnce();
 
   printf("%-8s %14s %16s %16s %12s\n", "Product", "price ($/h)",
          "geomean (sec)", "geomean (cents)", "QPS");
@@ -156,5 +165,6 @@ int main() {
            cdb.finished ? "true" : "false");
   printf("\n%s\n", json);
   bench::WriteBenchJson("table2_tpch", json);
+  bench::WriteBenchMonitorHistory("table2_tpch", monitor);
   return 0;
 }

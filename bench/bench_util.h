@@ -10,6 +10,7 @@
 
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/monitor.h"
 
 namespace s2 {
 namespace bench {
@@ -74,20 +75,53 @@ inline void WriteBenchFile(const std::string& path,
   printf("Wrote %s\n", path.c_str());
 }
 
+/// Build provenance for this bench binary, stamped by the build system
+/// (see bench/CMakeLists.txt): git commit, build type, sanitizer flags.
+inline std::string ProvenanceJson() {
+#ifdef S2_GIT_SHA
+  const char* sha = S2_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+#ifdef S2_BUILD_TYPE
+  const char* build_type = S2_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+#ifdef S2_SANITIZE_FLAGS
+  const char* sanitize = S2_SANITIZE_FLAGS;
+#else
+  const char* sanitize = "";
+#endif
+  return std::string("{\"git_sha\":\"") + sha + "\",\"build_type\":\"" +
+         build_type + "\",\"sanitizer\":\"" + sanitize + "\"}";
+}
+
 /// Writes the bench's machine-readable summary object to BENCH_<name>.json
-/// in the current working directory, with the process-wide metrics dump
-/// embedded as a "metrics" field (spliced in before the closing brace),
-/// plus the same dump as a Prometheus-style BENCH_<name>.metrics.prom
-/// snapshot. `summary_json` is the same one-line JSON object the bench
-/// prints.
+/// in the current working directory, with build provenance and the
+/// process-wide metrics dump embedded as fields (spliced in before the
+/// closing brace), plus the same dump as a Prometheus-style
+/// BENCH_<name>.metrics.prom snapshot. `summary_json` is the same one-line
+/// JSON object the bench prints.
 inline void WriteBenchJson(const std::string& name, std::string summary_json) {
   size_t brace = summary_json.rfind('}');
   if (brace == std::string::npos) return;
   summary_json.insert(brace,
-                      ",\"metrics\":" + MetricsRegistry::Global()->DumpJson());
+                      ",\"provenance\":" + ProvenanceJson() +
+                          ",\"metrics\":" +
+                          MetricsRegistry::Global()->DumpJson());
   WriteBenchFile("BENCH_" + name + ".json", summary_json);
   WriteBenchFile("BENCH_" + name + ".metrics.prom",
                  MetricsRegistry::Global()->Dump());
+}
+
+/// Writes the monitor's sampled time-series next to the other snapshots
+/// (BENCH_<name>.monitor.json): per-phase metric history that the
+/// end-of-run averages in BENCH_<name>.json hide. Benches tick the monitor
+/// at phase boundaries.
+inline void WriteBenchMonitorHistory(const std::string& name,
+                                     const MonitorService& monitor) {
+  WriteBenchFile("BENCH_" + name + ".monitor.json", monitor.HistoryJson());
 }
 
 inline void PrintHeader(const char* title) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/env.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/profile.h"
 
@@ -104,6 +105,7 @@ Status DataFileStore::Write(const std::string& name,
   stats_.files_written.fetch_add(1);
   if (blob_ != nullptr) {
     upload_queue_.push_back(name);
+    upload_enqueued_ns_.try_emplace(name, env_->NowNs());
     // A retry on a parked error: give the queue another chance.
     last_upload_error_ = Status::OK();
     SchedulePumpLocked();
@@ -221,6 +223,7 @@ Result<std::shared_ptr<const std::string>> DataFileStore::FetchAndInsert(
     if (blob_ != nullptr && !entry.uploaded) {
       // Re-queue so blob history stays complete.
       upload_queue_.push_back(name);
+      upload_enqueued_ns_.try_emplace(name, env_->NowNs());
       SchedulePumpLocked();
     }
     cached_bytes_ += data->size();
@@ -252,6 +255,7 @@ Status DataFileStore::Remove(const std::string& name) {
     lru_.erase(it->second.lru_it);
   }
   files_.erase(it);
+  upload_enqueued_ns_.erase(name);
   if (!options_.local_dir.empty()) {
     std::string path = options_.local_dir + "/" + name;
     if (env_->FileExists(path)) (void)env_->RemoveFile(path);
@@ -312,6 +316,19 @@ size_t DataFileStore::PendingUploads() const {
   return n;
 }
 
+uint64_t DataFileStore::OldestPendingUploadAgeNs() const {
+  // Read the clock before taking mu_ (an injected env clock has its own
+  // mutex; keep the two un-nested).
+  uint64_t now = env_->NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t oldest = UINT64_MAX;
+  for (const auto& [name, ts] : upload_enqueued_ns_) {
+    if (ts < oldest) oldest = ts;
+  }
+  if (oldest == UINT64_MAX || oldest >= now) return 0;
+  return now - oldest;
+}
+
 void DataFileStore::EvictCold() {
   std::lock_guard<std::mutex> lock(mu_);
   EvictColdLocked();
@@ -352,6 +369,7 @@ Status DataFileStore::UploadOne(const std::string& name) {
     it->second.uploaded = true;
     stats_.files_uploaded.fetch_add(1);
   }
+  upload_enqueued_ns_.erase(name);
   EvictColdLocked();
   return Status::OK();
 }
@@ -364,6 +382,8 @@ void DataFileStore::TouchLocked(const std::string& name, Entry* entry) {
 
 void DataFileStore::EvictColdLocked() {
   if (blob_ == nullptr) return;  // nothing backs the data; never evict
+  size_t evicted = 0;
+  size_t evicted_bytes = 0;
   auto it = lru_.end();
   while (cached_bytes_ > options_.local_cache_bytes && it != lru_.begin()) {
     --it;
@@ -373,6 +393,7 @@ void DataFileStore::EvictColdLocked() {
       continue;  // pinned until uploaded
     }
     cached_bytes_ -= fit->second.data->size();
+    evicted_bytes += fit->second.data->size();
     S2_GAUGE("s2_cache_bytes").Set(static_cast<int64_t>(cached_bytes_));
     S2_COUNTER("s2_cache_evictions_total").Add();
     fit->second.data = nullptr;
@@ -383,7 +404,15 @@ void DataFileStore::EvictColdLocked() {
       if (env_->FileExists(path)) (void)env_->RemoveFile(path);
     }
     stats_.files_evicted.fetch_add(1);
+    ++evicted;
     it = lru_.erase(it);
+  }
+  if (evicted > 0) {
+    S2_JOURNAL("storage", "eviction",
+               "prefix=" + options_.blob_prefix +
+                   " files=" + std::to_string(evicted) +
+                   " bytes=" + std::to_string(evicted_bytes) +
+                   " cached_bytes=" + std::to_string(cached_bytes_));
   }
 }
 

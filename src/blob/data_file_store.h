@@ -117,6 +117,12 @@ class DataFileStore {
   /// Number of files written but not yet uploaded.
   size_t PendingUploads() const;
 
+  /// Age (env clock) of the oldest file still waiting for its blob upload;
+  /// 0 when nothing is pending. Ages survive retry re-queues — the clock
+  /// starts at the original enqueue — so a stuck blob store shows as
+  /// monotonically growing age. This feeds the upload_queue_age watchdog.
+  uint64_t OldestPendingUploadAgeNs() const;
+
   /// Evicts uploaded cold files until the cache is within its budget. Runs
   /// automatically after writes/uploads; exposed for tests.
   void EvictCold();
@@ -182,6 +188,9 @@ class DataFileStore {
   std::unordered_map<std::string, std::shared_ptr<InflightFetch>> inflight_;
   std::list<std::string> lru_;  // front = most recent
   std::deque<std::string> upload_queue_;
+  /// First-enqueue timestamp per pending upload (kept across retries,
+  /// erased on upload success / Remove).
+  std::unordered_map<std::string, uint64_t> upload_enqueued_ns_;
   size_t cached_bytes_ = 0;
   FileHook file_hook_;
   bool shutdown_ = false;

@@ -2,6 +2,7 @@
 
 #include "common/env.h"
 #include "common/hash.h"
+#include "common/journal.h"
 
 namespace s2 {
 
@@ -71,6 +72,9 @@ Status Cluster::ProvisionReplica(int partition_id, int node_id) {
   auto replica = std::make_unique<ReplicaPartition>(ropts);
   S2_RETURN_NOT_OK(replica->Init());
   S2_RETURN_NOT_OK(WireReplica(partition_id, replica.get()));
+  S2_JOURNAL("cluster", "replica_attach",
+             "partition=" + std::to_string(partition_id) +
+                 " node=" + std::to_string(node_id) + " dir=" + ropts.dir);
   std::lock_guard<std::mutex> lock(mu_);
   sites_[partition_id].replicas.push_back(std::move(replica));
   sites_[partition_id].replica_nodes.push_back(node_id);
@@ -252,6 +256,7 @@ Result<std::vector<Row>> Cluster::ScatterQuery(
 // --- High availability ---
 
 void Cluster::KillNode(int node_id) {
+  S2_JOURNAL("cluster", "node_killed", "node=" + std::to_string(node_id));
   std::lock_guard<std::mutex> lock(mu_);
   node_alive_[node_id] = false;
   // Replicas hosted on the dead node stop acking.
@@ -302,6 +307,9 @@ Result<int> Cluster::RunFailureDetector() {
           "partition lost: no replica on a live node (all copies gone)");
     }
     S2_ASSIGN_OR_RETURN(Partition * new_master, chosen->Promote());
+    S2_JOURNAL("cluster", "replica_promoted",
+               "partition=" + std::to_string(p) +
+                   " node=" + std::to_string(chosen_node));
     {
       std::lock_guard<std::mutex> lock(mu_);
       PartitionSite& site = sites_[p];
@@ -380,9 +388,16 @@ Result<int> Cluster::CreateWorkspace() {
     S2_RETURN_NOT_OK(WireReplica(p, replica.get()));
     ws.replicas.push_back(std::move(replica));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  workspaces_.push_back(std::move(ws));
-  return static_cast<int>(workspaces_.size() - 1);
+  int workspace_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workspaces_.push_back(std::move(ws));
+    workspace_id = static_cast<int>(workspaces_.size() - 1);
+  }
+  S2_JOURNAL("cluster", "workspace_create",
+             "workspace=" + std::to_string(workspace_id) +
+                 " partitions=" + std::to_string(options_.num_partitions));
+  return workspace_id;
 }
 
 Partition* Cluster::WorkspacePartition(int workspace_id, int partition_id) {
@@ -465,6 +480,62 @@ std::vector<Cluster::ReplicaState> Cluster::ReplicaStates() const {
     }
   }
   return out;
+}
+
+uint64_t Cluster::ReplicationLagBytes() const {
+  uint64_t max_lag = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    Lsn durable = masters_[p]->log()->durable_lsn();
+    const PartitionSite& site = sites_[p];
+    for (const auto& replica : site.replicas) {
+      Lsn applied = replica->applied_lsn();
+      if (durable > applied) max_lag = std::max(max_lag, durable - applied);
+    }
+    for (const auto& ws : workspaces_) {
+      Lsn applied = ws.replicas[p]->applied_lsn();
+      if (durable > applied) max_lag = std::max(max_lag, durable - applied);
+    }
+    if (options_.blob != nullptr) {
+      // The blob log-tail is itself a replication consumer: workspaces and
+      // PITR read the log from blob storage, so un-uploaded bytes are lag.
+      Lsn uploaded = masters_[p]->LogUploadedLsn();
+      if (durable > uploaded) {
+        max_lag = std::max(max_lag, durable - uploaded);
+      }
+    }
+  }
+  return max_lag;
+}
+
+uint64_t Cluster::MaxUploadQueueAgeNs() const {
+  uint64_t max_age = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    max_age = std::max(max_age, masters_[p]->files()->OldestPendingUploadAgeNs());
+  }
+  return max_age;
+}
+
+double Cluster::MaintenanceBacklog() const {
+  double backlog = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    for (const std::string& name : masters_[p]->TableNames()) {
+      auto table = masters_[p]->GetTable(name);
+      if (!table.ok()) continue;
+      const TableOptions& opts = (*table)->options();
+      if (opts.flush_threshold > 0) {
+        backlog += static_cast<double>((*table)->RowstoreRows()) /
+                   static_cast<double>(opts.flush_threshold);
+      }
+      size_t runs = (*table)->DebugRuns().size();
+      if (runs > opts.max_sorted_runs) {
+        backlog += static_cast<double>(runs - opts.max_sorted_runs);
+      }
+    }
+  }
+  return backlog;
 }
 
 }  // namespace s2

@@ -177,6 +177,27 @@ class Cluster {
   };
   std::vector<ReplicaState> ReplicaStates() const;
 
+  // ----------------------------------------------------------------
+  // Health signals (watchdog rule sources; see common/monitor.h)
+  // ----------------------------------------------------------------
+
+  /// Max bytes any replication consumer trails its primary's durable LSN:
+  /// HA replicas, workspace replicas, and — when a blob store is
+  /// configured — the blob log-tail upload per partition (the paper's
+  /// Section 3 log-chunk replication path). Feeds the replication_lag
+  /// watchdog rule.
+  uint64_t ReplicationLagBytes() const;
+
+  /// Age (env clock) of the oldest data file still waiting for its blob
+  /// upload, across all master partitions. Feeds the upload_queue_age
+  /// watchdog rule.
+  uint64_t MaxUploadQueueAgeNs() const;
+
+  /// Summed flush/merge pressure over every master table: rowstore rows as
+  /// a fraction of the flush threshold, plus sorted runs in excess of the
+  /// merge limit. Stays below ~1 per table when maintenance keeps up.
+  double MaintenanceBacklog() const;
+
   /// The cluster-wide executor (scatter queries, parallel scans,
   /// maintenance, uploads).
   Executor* executor() { return executor_.get(); }

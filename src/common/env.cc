@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -50,6 +51,13 @@ Status WriteFd(int fd, const std::string& path, const std::string& data,
 }
 
 }  // namespace
+
+uint64_t Env::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 Status Env::WriteFileAtomic(const std::string& path, const std::string& data) {
   std::string tmp = path + ".tmp";

@@ -60,6 +60,12 @@ class Env {
   /// examples use this for scratch space.
   virtual Result<std::string> MakeTempDir(const std::string& prefix) = 0;
 
+  /// Monotonic clock in nanoseconds (same epoch as ScopedTimer::NowNs).
+  /// Virtual so FaultInjectionEnv can freeze/advance time and drive
+  /// age-based logic (upload-queue age, monitor sampling timestamps)
+  /// deterministically in tests.
+  virtual uint64_t NowNs();
+
   /// Crash-atomic full-file write: write `path + ".tmp"`, fsync it, rename
   /// over `path`, then fsync the parent directory. After a crash at any
   /// point the target holds either the old contents or the new contents,

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/journal.h"
+
 namespace s2 {
 
 const char* EnvOpName(EnvOp op) {
@@ -69,16 +71,49 @@ uint64_t FaultInjectionEnv::OpCount(EnvOp op) const {
 void FaultInjectionEnv::Crash() {
   std::lock_guard<std::mutex> lock(mu_);
   frozen_ = true;
+  EventJournal::Global()->Append("fault", "crash", "simulated process crash",
+                                 ClockNowLocked());
 }
 
 void FaultInjectionEnv::Unfreeze() {
   std::lock_guard<std::mutex> lock(mu_);
   frozen_ = false;
+  EventJournal::Global()->Append("fault", "unfreeze", "env unfrozen (reopen)",
+                                 ClockNowLocked());
 }
 
 bool FaultInjectionEnv::frozen() const {
   std::lock_guard<std::mutex> lock(mu_);
   return frozen_;
+}
+
+void FaultInjectionEnv::FreezeClockAt(uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_frozen_ = true;
+  manual_clock_ns_ = ns;
+}
+
+void FaultInjectionEnv::AdvanceClock(uint64_t delta_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!clock_frozen_) {
+    clock_frozen_ = true;
+    manual_clock_ns_ = base_->NowNs();
+  }
+  manual_clock_ns_ += delta_ns;
+}
+
+void FaultInjectionEnv::UnfreezeClock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_frozen_ = false;
+}
+
+uint64_t FaultInjectionEnv::NowNs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ClockNowLocked();
+}
+
+uint64_t FaultInjectionEnv::ClockNowLocked() const {
+  return clock_frozen_ ? manual_clock_ns_ : base_->NowNs();
 }
 
 Status FaultInjectionEnv::DropUnsyncedData() {
@@ -88,6 +123,12 @@ Status FaultInjectionEnv::DropUnsyncedData() {
     std::lock_guard<std::mutex> lock(mu_);
     tracked.swap(tracked_);
     unsynced_renames.swap(unsynced_renames_);
+    EventJournal::Global()->Append(
+        "fault", "power_loss",
+        "dropping unsynced data: tracked_files=" +
+            std::to_string(tracked.size()) +
+            " unsynced_renames=" + std::to_string(unsynced_renames.size()),
+        ClockNowLocked());
   }
   for (const auto& path : unsynced_renames) {
     if (base_->FileExists(path)) {
@@ -126,6 +167,15 @@ FaultInjectionEnv::Action FaultInjectionEnv::InterceptLocked(
     if (fault.fired >= fault.spec.count) continue;
     fault.fired++;
     fired_any_ = true;
+    EventJournal::Global()->Append(
+        "fault", "injected",
+        std::string("mode=") +
+            (fault.spec.mode == FaultSpec::Mode::kError     ? "error"
+             : fault.spec.mode == FaultSpec::Mode::kTorn    ? "torn"
+             : fault.spec.mode == FaultSpec::Mode::kDropSync ? "drop_sync"
+                                                             : "freeze") +
+            " op=" + EnvOpName(op) + " path=" + path,
+        ClockNowLocked());
     switch (fault.spec.mode) {
       case FaultSpec::Mode::kError:
         return Action::kError;

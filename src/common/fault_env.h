@@ -88,6 +88,18 @@ class FaultInjectionEnv : public Env {
   void Unfreeze();
   bool frozen() const;
 
+  /// Pins NowNs() to `ns`. Combined with AdvanceClock this makes every
+  /// age/interval computation that reads the env clock (upload-queue age,
+  /// monitor sample timestamps) fully deterministic.
+  void FreezeClockAt(uint64_t ns);
+  /// Advances the pinned clock by `delta_ns`. If the clock is not frozen
+  /// yet it is first pinned at the base env's current time.
+  void AdvanceClock(uint64_t delta_ns);
+  /// Returns to the base env's real clock.
+  void UnfreezeClock();
+
+  uint64_t NowNs() override;
+
   /// Power-loss simulation: truncates files with appended-but-unsynced
   /// bytes back to their last synced size and removes files whose creating
   /// rename was never made durable by a parent-directory fsync. Clears the
@@ -130,8 +142,12 @@ class FaultInjectionEnv : public Env {
   };
 
   /// Counts the call, records history, applies freeze, and resolves the
-  /// first matching armed fault. mu_ must be held.
+  /// first matching armed fault. mu_ must be held. Fault fires are
+  /// journaled into EventJournal::Global() — which means a journal file
+  /// sink must never be attached through this same env (see journal.h).
   Action InterceptLocked(EnvOp op, const std::string& path, bool mutating);
+  /// Clock read with mu_ already held (NowNs() itself takes mu_).
+  uint64_t ClockNowLocked() const;
   /// Ensures sync tracking exists for `path`, seeding pre-existing bytes as
   /// synced (earlier sessions are assumed crash-consistent). mu_ held.
   SyncState* TrackLocked(const std::string& path);
@@ -145,6 +161,8 @@ class FaultInjectionEnv : public Env {
   std::vector<std::pair<EnvOp, std::string>> history_;
   bool frozen_ = false;
   bool fired_any_ = false;
+  bool clock_frozen_ = false;
+  uint64_t manual_clock_ns_ = 0;
   Rng torn_rng_{1};
   std::map<std::string, SyncState> tracked_;
   std::set<std::string> unsynced_renames_;

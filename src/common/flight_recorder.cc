@@ -1,0 +1,90 @@
+#include "common/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/journal.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/monitor.h"
+#include "common/trace_export.h"
+
+namespace s2 {
+
+Status DumpFlightRecorder(const FlightRecorderOptions& opts) {
+  Env* env = opts.env != nullptr ? opts.env : Env::Default();
+  const EventJournal* journal =
+      opts.journal != nullptr ? opts.journal : EventJournal::Global();
+
+  Status first_error = env->CreateDirs(opts.dir);
+  std::vector<std::string> written;
+  auto write = [&](const std::string& name, const std::string& content) {
+    Status st = env->WriteStringToFile(opts.dir + "/" + name, content,
+                                       /*sync=*/false);
+    if (st.ok()) {
+      written.push_back(name);
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  };
+
+  write("metrics.prom", MetricsRegistry::Global()->Dump());
+  write("metrics.json", MetricsRegistry::Global()->DumpJson());
+
+  if (opts.monitor != nullptr) {
+    write("monitor_history.json", opts.monitor->HistoryJson());
+    write("watchdogs.json", opts.monitor->WatchdogsJson());
+  }
+
+  std::vector<JournalEvent> tail = journal->Tail(opts.journal_tail);
+  std::string jsonl;
+  for (const JournalEvent& ev : tail) {
+    jsonl += ev.ToJson();
+    jsonl += '\n';
+  }
+  write("journal.jsonl", jsonl);
+
+  TraceBuffer* tb = TraceBuffer::Global();
+  std::vector<TraceEvent> trace_events = tb->Snapshot();
+  uint64_t trace_dropped = tb->dropped();
+  ChromeTraceBuilder builder;
+  builder.AddTraceEvents(trace_events, /*pid=*/1, "s2 trace ring");
+  write("trace.json", builder.Finish());
+
+  for (const auto& [name, content] : opts.extra_files) {
+    write(name, content);
+  }
+
+  char buf[64];
+  std::string manifest = "{\"files\":[";
+  // The manifest names itself too, so a reader sees the intended set.
+  written.push_back("manifest.json");
+  bool first = true;
+  for (const std::string& name : written) {
+    if (!first) manifest += ",";
+    first = false;
+    manifest += JsonQuote(name);
+  }
+  manifest += "],\"journal_events\":";
+  snprintf(buf, sizeof(buf), "%zu", tail.size());
+  manifest += buf;
+  manifest += ",\"journal_dropped\":";
+  snprintf(buf, sizeof(buf), "%" PRIu64, journal->dropped());
+  manifest += buf;
+  manifest += ",\"trace_events\":";
+  snprintf(buf, sizeof(buf), "%zu", trace_events.size());
+  manifest += buf;
+  manifest += ",\"trace_dropped_total\":";
+  snprintf(buf, sizeof(buf), "%" PRIu64, trace_dropped);
+  manifest += buf;
+  manifest += ",\"captured_at_ns\":";
+  snprintf(buf, sizeof(buf), "%" PRIu64, env->NowNs());
+  manifest += buf;
+  manifest += "}";
+  write("manifest.json", manifest);
+
+  return first_error;
+}
+
+}  // namespace s2

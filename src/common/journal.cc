@@ -1,0 +1,124 @@
+#include "common/journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/env.h"
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace s2 {
+
+std::string JournalEvent::ToJson() const {
+  char buf[64];
+  std::string out = "{\"seq\":";
+  snprintf(buf, sizeof(buf), "%" PRIu64, seq);
+  out += buf;
+  out += ",\"ts_ns\":";
+  snprintf(buf, sizeof(buf), "%" PRIu64, ts_ns);
+  out += buf;
+  out += ",\"category\":";
+  out += JsonQuote(category);
+  out += ",\"name\":";
+  out += JsonQuote(name);
+  out += ",\"detail\":";
+  out += JsonQuote(detail);
+  out += "}";
+  return out;
+}
+
+EventJournal::EventJournal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+EventJournal* EventJournal::Global() {
+  // Leaked, like MetricsRegistry: emit sites may run during static
+  // destruction of other objects.
+  static EventJournal* journal = new EventJournal();
+  return journal;
+}
+
+void EventJournal::Append(const std::string& category, const std::string& name,
+                          const std::string& detail, uint64_t ts_ns) {
+  JournalEvent ev;
+  ev.ts_ns = ts_ns != 0 ? ts_ns : ScopedTimer::NowNs();
+  ev.category = category;
+  ev.name = name;
+  ev.detail = detail;
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(std::move(ev));
+}
+
+void EventJournal::AppendLocked(JournalEvent ev) {
+  ev.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.resize(ring_.size() + 1);
+  } else {
+    ++dropped_;
+  }
+  std::string line;
+  if (file_env_ != nullptr && file_healthy_) {
+    line = ev.ToJson();
+    line += '\n';
+  }
+  ring_[ev.seq % capacity_] = std::move(ev);
+  if (!line.empty()) {
+    // The sink env must not be one whose operations journal back into us
+    // (see the class comment); with that contract this call is safe under
+    // mu_ because it never re-enters EventJournal.
+    Status st = file_env_->AppendToFile(file_path_, line, /*sync=*/false);
+    if (!st.ok()) file_healthy_ = false;
+  }
+}
+
+std::vector<JournalEvent> EventJournal::Snapshot() const {
+  return Tail(capacity_);
+}
+
+std::vector<JournalEvent> EventJournal::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t oldest = next_seq_ >= ring_.size() ? next_seq_ - ring_.size() : 0;
+  if (next_seq_ - oldest > n) oldest = next_seq_ - n;
+  std::vector<JournalEvent> out;
+  out.reserve(static_cast<size_t>(next_seq_ - oldest));
+  for (uint64_t seq = oldest; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t EventJournal::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void EventJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+void EventJournal::AttachFile(Env* env, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path.empty()) {
+    file_env_ = nullptr;
+    file_path_.clear();
+    return;
+  }
+  file_env_ = env != nullptr ? env : Env::Default();
+  file_path_ = path;
+  file_healthy_ = true;
+}
+
+bool EventJournal::file_sink_healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_healthy_;
+}
+
+}  // namespace s2

@@ -1,0 +1,60 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+namespace s2 {
+
+void JsonAppendEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x",
+                   static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  JsonAppendEscaped(in, &out);
+  return out;
+}
+
+std::string JsonQuote(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  out += '"';
+  JsonAppendEscaped(in, &out);
+  out += '"';
+  return out;
+}
+
+}  // namespace s2

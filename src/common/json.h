@@ -1,0 +1,23 @@
+#ifndef S2_COMMON_JSON_H_
+#define S2_COMMON_JSON_H_
+
+#include <string>
+
+namespace s2 {
+
+/// Appends `in` to `out` escaped for use inside a JSON string literal:
+/// double-quote, backslash, and the control characters (\n \t \r \b \f,
+/// everything else below 0x20 as \u00XX). The one shared escaper for every
+/// JSON emitter in the tree (metrics, profiles, system tables, journal,
+/// trace export) so label/detail strings can never break a document.
+void JsonAppendEscaped(const std::string& in, std::string* out);
+
+/// Returns the escaped string (no surrounding quotes).
+std::string JsonEscape(const std::string& in);
+
+/// Returns the string as a complete JSON string literal, quotes included.
+std::string JsonQuote(const std::string& in);
+
+}  // namespace s2
+
+#endif  // S2_COMMON_JSON_H_

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace s2 {
 
 // --- Histogram ---
@@ -187,20 +189,42 @@ std::string MetricsRegistry::DumpJson() const {
   };
   for (const auto& [name, c] : counters_) {
     sep();
-    snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, name.c_str(), c->value());
+    out += JsonQuote(name);
+    snprintf(buf, sizeof(buf), ":%" PRIu64, c->value());
     out += buf;
   }
   for (const auto& [name, g] : gauges_) {
     sep();
-    snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, name.c_str(), g->value());
+    out += JsonQuote(name);
+    snprintf(buf, sizeof(buf), ":%" PRId64, g->value());
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
     sep();
-    out += "\"" + name + "\":";
+    out += JsonQuote(name);
+    out += ":";
     AppendHistogramJson(&out, *h);
   }
   out += "}";
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, static_cast<double>(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name + ".p50", static_cast<double>(h->Quantile(0.5))});
+    out.push_back({name + ".p95", static_cast<double>(h->Quantile(0.95))});
+    out.push_back({name + ".p99", static_cast<double>(h->Quantile(0.99))});
+    out.push_back({name + ".count", static_cast<double>(h->count())});
+  }
   return out;
 }
 
@@ -218,33 +242,49 @@ TraceBuffer* TraceBuffer::Global() {
   return buffer;
 }
 
+namespace {
+
+// Small dense per-thread id for Chrome-trace tid mapping: assigned on a
+// thread's first emit, stable for the thread's lifetime.
+uint64_t CurrentTraceTid() {
+  static std::atomic<uint64_t> next_tid{1};
+  thread_local uint64_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
 void TraceBuffer::Emit(const char* category, std::string detail,
                        uint64_t start_ns, uint64_t duration_ns) {
+  uint64_t tid = CurrentTraceTid();
   std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < kCapacity) {
+  if (ring_.size() < capacity_) {
     ring_.resize(ring_.size() + 1);
   } else {
     // Full ring: this emit overwrites the oldest event. Count the loss so
     // a snapshot consumer knows the ring is a suffix of the event stream.
     ++dropped_;
+    ++dropped_window_;
     S2_COUNTER("s2_trace_dropped_total").Add();
   }
-  TraceEvent& slot = ring_[next_seq_ % kCapacity];
+  TraceEvent& slot = ring_[next_seq_ % capacity_];
   slot.category = category;
   slot.detail = std::move(detail);
   slot.start_ns = start_ns;
   slot.duration_ns = duration_ns;
   slot.seq = next_seq_++;
+  slot.tid = tid;
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
-  uint64_t oldest = next_seq_ >= kCapacity ? next_seq_ - kCapacity : 0;
+  uint64_t oldest = next_seq_ >= capacity_ ? next_seq_ - capacity_ : 0;
   for (uint64_t seq = oldest; seq < next_seq_; ++seq) {
-    out.push_back(ring_[seq % kCapacity]);
+    out.push_back(ring_[seq % capacity_]);
   }
+  dropped_window_ = 0;
   return out;
 }
 
@@ -253,11 +293,17 @@ void TraceBuffer::Clear() {
   ring_.clear();
   next_seq_ = 0;
   dropped_ = 0;
+  dropped_window_ = 0;
 }
 
 uint64_t TraceBuffer::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+uint64_t TraceBuffer::dropped_since_last_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_window_;
 }
 
 }  // namespace s2

@@ -77,6 +77,14 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// One (name, value) pair from MetricsRegistry::SnapshotValues. Histograms
+/// expand to several samples (`name.p50`, `name.p95`, `name.p99`,
+/// `name.count`).
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
 /// Process-wide registry of named metrics. Registration (first lookup of a
 /// name) takes a mutex; the returned pointers stay valid for the process
 /// lifetime and are lock-free to update. ResetForTest zeroes values but
@@ -102,6 +110,14 @@ class MetricsRegistry {
   /// gauges as numbers, histograms as {count, sum, mean, p50, p95, p99,
   /// max} objects.
   std::string DumpJson() const;
+
+  /// Every registered metric flattened to (name, value) pairs — counters,
+  /// then gauges, then histograms (each group name-sorted); counters and
+  /// gauges one sample each, histograms as
+  /// `name.p50/.p95/.p99/.count`. This is the iteration surface the
+  /// MonitorService sampler uses to build time-series without knowing
+  /// metric names up front.
+  std::vector<MetricSample> SnapshotValues() const;
 
   /// Zeroes every registered metric (pointers stay valid).
   void ResetForTest();
@@ -177,6 +193,7 @@ struct TraceEvent {
   uint64_t start_ns = 0;     // ScopedTimer::NowNs() clock
   uint64_t duration_ns = 0;  // 0 for instant events
   uint64_t seq = 0;          // global emission order
+  uint64_t tid = 0;          // small dense id of the emitting thread
 };
 
 /// Bounded ring buffer of trace events, off by default. When enabled,
@@ -188,6 +205,10 @@ class TraceBuffer {
  public:
   static constexpr size_t kCapacity = 8192;
 
+  /// Tests shrink `capacity` to exercise ring wrap cheaply.
+  explicit TraceBuffer(size_t capacity = kCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
   static TraceBuffer* Global();
 
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
@@ -196,7 +217,9 @@ class TraceBuffer {
   void Emit(const char* category, std::string detail, uint64_t start_ns,
             uint64_t duration_ns);
 
-  /// Events currently in the ring, oldest first.
+  /// Events currently in the ring, oldest first. Ends the current drop
+  /// window: dropped_since_last_snapshot() restarts from zero, so a later
+  /// capture doesn't attribute this window's losses to itself.
   std::vector<TraceEvent> Snapshot() const;
   void Clear();
 
@@ -205,12 +228,20 @@ class TraceBuffer {
   /// exposes the loss.
   uint64_t dropped() const;
 
+  /// Events overwritten since the last Snapshot()/Clear() — the losses
+  /// that belong to the *next* capture window.
+  uint64_t dropped_since_last_snapshot() const;
+
  private:
+  const size_t capacity_;
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // ring_[seq % kCapacity]
+  std::vector<TraceEvent> ring_;  // ring_[seq % capacity_]
   uint64_t next_seq_ = 0;
   uint64_t dropped_ = 0;
+  // Reset by Snapshot() (hence mutable: snapshotting is logically const
+  // but ends the drop window).
+  mutable uint64_t dropped_window_ = 0;
 };
 
 /// RAII span: emits one event with the scope's duration at destruction.

@@ -1,0 +1,190 @@
+#ifndef S2_COMMON_MONITOR_H_
+#define S2_COMMON_MONITOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace s2 {
+
+class Env;
+class EventJournal;
+class Executor;
+class MetricsRegistry;
+
+/// One sample of one time-series.
+struct MonitorPoint {
+  uint64_t ts_ns = 0;
+  double value = 0.0;
+};
+
+/// Comparison direction for a watchdog rule.
+enum class WatchdogCmp { kAbove, kBelow };
+
+/// A health rule evaluated on every monitor tick. `observe` returns the
+/// current value of the watched quantity (it may read cluster state,
+/// registry metrics, or the monitor's own time-series for rate/drift
+/// rules); the rule fires when the value breaches `threshold` for
+/// `for_ticks` consecutive ticks, and clears on the first non-breaching
+/// tick. Fire and clear transitions are journaled with the rule name,
+/// threshold, observed value, and (on clear) the firing duration.
+struct WatchdogRule {
+  std::string name;
+  std::function<double()> observe;
+  double threshold = 0.0;
+  WatchdogCmp cmp = WatchdogCmp::kAbove;
+  /// Consecutive breaching ticks required before firing (debounce).
+  int for_ticks = 1;
+};
+
+/// Current state of one rule, for the monitor.watchdogs system table and
+/// the flight-recorder bundle.
+struct WatchdogStatus {
+  std::string name;
+  double threshold = 0.0;
+  WatchdogCmp cmp = WatchdogCmp::kAbove;
+  double last_observed = 0.0;
+  int breach_ticks = 0;      // current consecutive-breach run
+  bool firing = false;
+  uint64_t fired_since_ns = 0;  // tick timestamp when firing started
+  uint64_t fire_count = 0;      // lifetime fire transitions
+};
+
+/// Default thresholds for the standard rule set the engine installs (see
+/// Database::Open); embedded in DatabaseOptions so tests and deployments
+/// tune them without touching rule code. The values are deliberately loose
+/// for the tiny data sizes in tests — rules should fire on injected
+/// pathologies, not healthy load.
+struct WatchdogThresholds {
+  /// replication_lag: max bytes any replica (HA sink, workspace, or the
+  /// blob log-tail upload) trails the primary's durable LSN.
+  uint64_t replication_lag_bytes = 4ull << 20;
+  /// upload_queue_age: age of the oldest data file still waiting for blob
+  /// upload, on the env clock.
+  uint64_t upload_queue_age_ns = 5'000'000'000;
+  /// cache_thrash: evictions/sec divided by (hits/sec + 1) over the recent
+  /// sample window — sustained re-faulting of the working set.
+  double cache_thrash_ratio = 0.5;
+  /// executor_saturation: sampled executor queue depth.
+  double executor_queue_depth = 256.0;
+  /// maintenance_backlog: summed flush/merge pressure score across tables
+  /// (rowstore bytes over flush threshold + sorted runs over merge limit).
+  double maintenance_backlog = 8.0;
+  /// commit_p99_drift: current commit p99 divided by its own recent
+  /// median (dimensionless multiple).
+  double commit_p99_drift = 8.0;
+  /// Debounce applied to the standard rules.
+  int for_ticks = 2;
+};
+
+struct MonitorOptions {
+  /// Background sampling period (real time, condition-variable wait).
+  uint64_t interval_ns = 100'000'000;
+  /// Points retained per series (ring; oldest dropped).
+  size_t ring_capacity = 240;
+  /// Clock for sample timestamps and rule durations; null = Env::Default().
+  /// A FaultInjectionEnv here (FreezeClockAt/AdvanceClock) plus manual
+  /// TickOnce() calls makes every timestamp in tests deterministic.
+  Env* env = nullptr;
+  /// Metric source; null = MetricsRegistry::Global().
+  MetricsRegistry* registry = nullptr;
+  /// Alert sink; null = EventJournal::Global().
+  EventJournal* journal = nullptr;
+};
+
+/// Continuous monitoring: snapshots every registry metric into bounded
+/// ring time-series on each tick and evaluates watchdog rules against the
+/// live state. Ticks come from a background loop (Start/Stop — the wait is
+/// real time, the tick body runs on the shared executor) or from explicit
+/// TickOnce() calls in tests, where the injected env clock makes the
+/// recorded history reproducible.
+///
+/// Lock order: series state is guarded by series_mu_, rule state by
+/// rules_mu_, and rules are evaluated holding neither — observe()
+/// callbacks may therefore read the monitor's own series (RatePerSec,
+/// SeriesMedian) or take subsystem locks without deadlock.
+class MonitorService {
+ public:
+  explicit MonitorService(MonitorOptions options = MonitorOptions());
+  ~MonitorService();  // Stops the background loop.
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  void AddRule(WatchdogRule rule);
+
+  /// One sample-and-evaluate pass: reads the clock, appends every registry
+  /// metric to its series, then evaluates all rules. Thread-safe.
+  void TickOnce();
+
+  /// Starts the background loop (idempotent). Each tick body is submitted
+  /// to `executor` (null = Executor::Default()).
+  void Start(Executor* executor = nullptr);
+  /// Stops and joins the loop (idempotent; also called by the dtor).
+  void Stop();
+  bool running() const;
+
+  uint64_t ticks() const;
+  uint64_t interval_ns() const { return options_.interval_ns; }
+
+  // --- series queries ---
+  std::vector<std::string> SeriesNames() const;
+  /// Points of one series, oldest first (empty when unknown).
+  std::vector<MonitorPoint> Series(const std::string& name) const;
+  /// Last recorded value, or `fallback` when the series is empty.
+  double LatestOr(const std::string& name, double fallback) const;
+  /// Per-second rate of change over up to the last `window` points of a
+  /// (cumulative) series, using sample timestamps; 0 with <2 points or no
+  /// elapsed time. Rate/drift rules are built on these.
+  double RatePerSec(const std::string& name, size_t window = 10) const;
+  /// Median of the non-zero values of a series (drift baseline); 0 when
+  /// all values are zero.
+  double SeriesMedian(const std::string& name) const;
+
+  std::vector<WatchdogStatus> RuleStatuses() const;
+  /// True if any rule is currently firing.
+  bool AnyFiring() const;
+
+  /// {"interval_ns":..,"ticks":..,"series":{name:[{"ts_ns":..,"v":..}..]}}
+  std::string HistoryJson() const;
+  /// [{"rule":..,"threshold":..,"cmp":..,"observed":..,"firing":..,..}]
+  std::string WatchdogsJson() const;
+
+ private:
+  void SampleLocked(uint64_t now_ns);  // series_mu_ held
+  void EvaluateRules(uint64_t now_ns);
+  void LoopBody();
+
+  MonitorOptions options_;
+  Env* env_;
+  MetricsRegistry* registry_;
+  EventJournal* journal_;
+
+  mutable std::mutex series_mu_;
+  std::map<std::string, std::deque<MonitorPoint>> series_;
+  uint64_t ticks_ = 0;
+
+  mutable std::mutex rules_mu_;
+  struct RuleState {
+    WatchdogRule rule;
+    WatchdogStatus status;
+  };
+  std::vector<RuleState> rules_;
+
+  mutable std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread loop_;
+  Executor* executor_ = nullptr;
+};
+
+}  // namespace s2
+
+#endif  // S2_COMMON_MONITOR_H_

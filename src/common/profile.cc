@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/json.h"
 #include "common/metrics.h"
 
 namespace s2 {
@@ -10,36 +11,6 @@ namespace s2 {
 namespace {
 
 thread_local ProfileCollector::Attachment tls_attachment;
-
-void EscapeJson(const std::string& in, std::string* out) {
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
 
 }  // namespace
 
@@ -131,9 +102,9 @@ std::string ProfileCollector::ToText() const {
 void ProfileCollector::RenderJson(const ProfileNode& node,
                                   std::string* out) const {
   *out += "{\"name\":\"";
-  EscapeJson(node.name, out);
+  JsonAppendEscaped(node.name, out);
   *out += "\",\"detail\":\"";
-  EscapeJson(node.detail, out);
+  JsonAppendEscaped(node.detail, out);
   char buf[64];
   snprintf(buf, sizeof(buf), "\",\"duration_ns\":%" PRIu64, node.duration_ns);
   *out += buf;
@@ -143,7 +114,7 @@ void ProfileCollector::RenderJson(const ProfileNode& node,
     if (!first) *out += ',';
     first = false;
     *out += '"';
-    EscapeJson(k, out);
+    JsonAppendEscaped(k, out);
     snprintf(buf, sizeof(buf), "\":%" PRId64, v);
     *out += buf;
   }

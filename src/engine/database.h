@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/monitor.h"
 #include "common/profile.h"
 #include "query/plan.h"
 #include "storage/table_options.h"
@@ -57,6 +58,20 @@ struct DatabaseOptions {
   uint64_t slow_query_ns = 0;
   /// Bounded retention for the slow-query ring (oldest dropped first).
   size_t slow_query_capacity = 32;
+  /// Creates a MonitorService wired to the cluster's health signals and
+  /// installs the standard watchdog rules (replication lag, upload queue
+  /// age, cache thrash, executor saturation, maintenance backlog, commit
+  /// p99 drift). Tests drive it with Database::monitor()->TickOnce().
+  bool enable_monitor = false;
+  /// Background sampling period when monitor_background is set.
+  uint64_t monitor_interval_ns = 100'000'000;
+  /// Points retained per sampled time-series.
+  size_t monitor_ring_capacity = 240;
+  /// Also start the monitor's background loop on the cluster executor
+  /// (tests usually leave this off and tick manually for determinism).
+  bool monitor_background = false;
+  /// Thresholds for the standard watchdog rules.
+  WatchdogThresholds watchdog;
 };
 
 /// A query result plus its profile tree (see Database::Profile).
@@ -131,6 +146,21 @@ class Database {
   Cluster* cluster() { return cluster_.get(); }
   EngineProfile profile() const { return options_.profile; }
 
+  /// The continuous-monitoring service, or null when
+  /// DatabaseOptions::enable_monitor is off.
+  MonitorService* monitor() { return monitor_.get(); }
+
+  /// Dumps one flight-recorder bundle to `dir`: the common core (metrics,
+  /// monitor history, watchdog states, journal tail, Chrome trace) plus
+  /// the engine's view — system_tables.json and the slowest retained
+  /// query profiles as slow_queries.json.
+  Status DumpFlightRecorder(const std::string& dir);
+
+  /// Chrome trace_event JSON (Perfetto-loadable) combining the process
+  /// TraceBuffer with the retained slow-query profile trees; see
+  /// ChromeTraceBuilder for the pid/tid layout.
+  std::string ExportChromeTrace() const;
+
   /// Prometheus-style text dump of the process-wide metrics registry
   /// (latency histograms, counters, gauges from every engine layer).
   static std::string DumpMetrics();
@@ -145,8 +175,15 @@ class Database {
   Result<QueryProfile> RunProfiled(const std::function<PlanPtr()>& factory,
                                    int workspace);
 
+  /// Installs the standard watchdog rules on monitor_ (see
+  /// WatchdogThresholds); called from Open() after the cluster starts.
+  void InstallStandardWatchdogs();
+
   DatabaseOptions options_;
   std::unique_ptr<Cluster> cluster_;
+  /// Declared after cluster_ so it is destroyed (and its loop stopped)
+  /// first: watchdog observe() callbacks read cluster state.
+  std::unique_ptr<MonitorService> monitor_;
 
   mutable std::mutex slow_mu_;
   std::deque<SlowQuery> slow_ring_;  // guarded by slow_mu_

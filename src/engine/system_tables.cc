@@ -1,7 +1,10 @@
 #include "engine/system_tables.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/json.h"
+#include "common/monitor.h"
 #include "storage/partition.h"
 #include "storage/unified_table.h"
 
@@ -9,22 +12,13 @@ namespace s2 {
 
 namespace {
 
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
 std::string U64(uint64_t v) { return std::to_string(v); }
+
+std::string Dbl(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
 
 }  // namespace
 
@@ -60,7 +54,7 @@ std::string SystemTableDump::ToJson() const {
     for (size_t c = 0; c < columns.size(); ++c) {
       if (c > 0) out += ",";
       const std::string& cell = c < rows[r].size() ? rows[r][c] : "";
-      out += "\"" + EscapeJson(columns[c]) + "\":\"" + EscapeJson(cell) + "\"";
+      out += JsonQuote(columns[c]) + ":" + JsonQuote(cell);
     }
     out += "}";
   }
@@ -150,8 +144,43 @@ SystemTableDump SystemTables::Replicas() const {
   return dump;
 }
 
+SystemTableDump SystemTables::History() const {
+  SystemTableDump dump;
+  dump.name = "monitor.history";
+  dump.columns = {"series", "ts_ns", "value"};
+  if (monitor_ == nullptr) return dump;
+  for (const std::string& series : monitor_->SeriesNames()) {
+    for (const MonitorPoint& p : monitor_->Series(series)) {
+      dump.rows.push_back({series, U64(p.ts_ns), Dbl(p.value)});
+    }
+  }
+  return dump;
+}
+
+SystemTableDump SystemTables::Watchdogs() const {
+  SystemTableDump dump;
+  dump.name = "monitor.watchdogs";
+  dump.columns = {"rule",   "cmp",          "threshold",      "observed",
+                  "firing", "breach_ticks", "fired_since_ns", "fire_count"};
+  if (monitor_ == nullptr) return dump;
+  for (const WatchdogStatus& st : monitor_->RuleStatuses()) {
+    dump.rows.push_back(
+        {st.name, st.cmp == WatchdogCmp::kAbove ? "above" : "below",
+         Dbl(st.threshold), Dbl(st.last_observed), st.firing ? "1" : "0",
+         std::to_string(st.breach_ticks), U64(st.fired_since_ns),
+         U64(st.fire_count)});
+  }
+  return dump;
+}
+
 std::vector<SystemTableDump> SystemTables::All() const {
-  return {Segments(), Tables(), Cache(), Replicas()};
+  std::vector<SystemTableDump> all = {Segments(), Tables(), Cache(),
+                                      Replicas()};
+  if (monitor_ != nullptr) {
+    all.push_back(History());
+    all.push_back(Watchdogs());
+  }
+  return all;
 }
 
 std::string SystemTables::ToText() const {
@@ -169,7 +198,7 @@ std::string SystemTables::ToJson() const {
   for (const SystemTableDump& dump : All()) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + EscapeJson(dump.name) + "\":" + dump.ToJson();
+    out += JsonQuote(dump.name) + ":" + dump.ToJson();
   }
   out += "}";
   return out;

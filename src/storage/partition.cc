@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/env.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/profile.h"
 
@@ -192,6 +193,9 @@ Status Partition::WriteSnapshot() {
     }
   }
   S2_RETURN_NOT_OK(snapshots_.Write(lsn, payload));
+  S2_JOURNAL("storage", "snapshot",
+             "dir=" + options_.dir + " lsn=" + std::to_string(lsn) +
+                 " bytes=" + std::to_string(payload.size()));
   if (options_.blob != nullptr) {
     // Snapshots go straight to blob storage (paper Section 3.1: replicas
     // fetch them from there instead of taking their own).
@@ -226,6 +230,11 @@ Status Partition::UploadToBlob() {
     log_uploaded_ = durable;
   }
   return Status::OK();
+}
+
+Lsn Partition::LogUploadedLsn() const {
+  std::lock_guard<std::mutex> lock(upload_mu_);
+  return log_uploaded_;
 }
 
 Status Partition::Recover() {

@@ -103,6 +103,12 @@ class Partition {
   TxnManager* txns() { return &txns_; }
   SnapshotStore* snapshots() { return &snapshots_; }
 
+  /// LSN up to which the log has been uploaded to blob storage; the
+  /// distance to durable_lsn() is the blob log-tail replication lag the
+  /// replication_lag watchdog folds in (paper Section 3: workspaces follow
+  /// the primary through log chunks in blob storage).
+  Lsn LogUploadedLsn() const;
+
   /// Key under which log chunk [from, to) is stored in blob.
   static std::string LogChunkKey(const std::string& prefix, Lsn from, Lsn to);
 
@@ -128,7 +134,7 @@ class Partition {
   mutable std::mutex tables_mu_;
   std::map<std::string, std::unique_ptr<UnifiedTable>> tables_;
 
-  std::mutex upload_mu_;
+  mutable std::mutex upload_mu_;
   Lsn log_uploaded_ = 0;  // log bytes below this are in blob storage
 };
 

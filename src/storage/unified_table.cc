@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/hash.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/profile.h"
 #include "index/inverted_index.h"
@@ -935,6 +936,9 @@ Result<size_t> UnifiedTable::FlushRowstore() {
   S2_COUNTER("s2_flush_total").Add();
   S2_COUNTER("s2_flush_rows_total").Add(rows.size());
   S2_COUNTER("s2_flush_bytes_total").Add(file->size());
+  S2_JOURNAL("storage", "flush",
+             "table=" + name_ + " rows=" + std::to_string(rows.size()) +
+                 " bytes=" + std::to_string(file->size()));
   S2_HISTOGRAM("s2_flush_ns").Record(flush_timer.ElapsedNs());
   flush_span.Count("rows", static_cast<int64_t>(rows.size()));
   flush_span.Count("bytes", static_cast<int64_t>(file->size()));
@@ -1111,6 +1115,10 @@ Result<bool> UnifiedTable::MaybeMergeRuns() {
   stats_.merges.fetch_add(1);
   S2_COUNTER("s2_merge_total").Add();
   S2_HISTOGRAM("s2_merge_ns").Record(merge_timer.ElapsedNs());
+  S2_JOURNAL("storage", "merge",
+             "table=" + name_ +
+                 " segments_in=" + std::to_string(old_ids.size()) +
+                 " segments_out=" + std::to_string(new_metas.size()));
   merge_span.Count("segments_in", static_cast<int64_t>(old_ids.size()));
   merge_span.Count("segments_out", static_cast<int64_t>(new_metas.size()));
   return true;

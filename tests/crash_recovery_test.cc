@@ -25,6 +25,7 @@
 #include "blob/blob_store.h"
 #include "common/env.h"
 #include "common/fault_env.h"
+#include "common/flight_recorder.h"
 #include "common/rng.h"
 #include "storage/partition.h"
 #include "test_util.h"
@@ -114,6 +115,22 @@ class CrashRecoveryTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    // On a torture failure, dump a flight-recorder bundle (metrics,
+    // journal tail, trace) for the post-mortem before the scratch state
+    // goes away. S2_FLIGHT_DIR overrides the destination; CI uploads it
+    // as a workflow artifact.
+    if (::testing::Test::HasFailure()) {
+      const char* flight_dir = std::getenv("S2_FLIGHT_DIR");
+      FlightRecorderOptions fr;
+      fr.dir = std::string(flight_dir != nullptr ? flight_dir
+                                                 : "crash-flight-recorder") +
+               "/" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name();
+      Status s = DumpFlightRecorder(fr);
+      if (s.ok()) {
+        fprintf(stderr, "flight recorder bundle: %s\n", fr.dir.c_str());
+      }
+    }
     partition_.reset();
     (void)RemoveDirRecursive(base_dir_);
   }
